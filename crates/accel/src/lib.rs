@@ -1,0 +1,72 @@
+//! FPGA accelerator architectures and performance estimation.
+//!
+//! Implements Section III of the CLAppED paper: line-buffer-based
+//! sliding-window convolution accelerators whose datapaths are generated
+//! as gate-level netlists (the per-tap approximate multipliers are
+//! instantiated structurally) and characterized through the
+//! `clapped-netlist` synthesis flow — the project's stand-in for the
+//! paper's 15-minute Vivado runs.
+//!
+//! Three estimation paths are provided, mirroring the paper:
+//!
+//! 1. [`characterize`] — **true** characterization: full datapath
+//!    synthesis (slow, accurate),
+//! 2. [`characterize_fast`] — compositional estimate from per-operator
+//!    synthesis reports (fast, approximate),
+//! 3. ML-based prediction: [`features`] extracts the Table-I feature
+//!    vectors consumed by `clapped-mlp` regressors.
+//!
+//! # Examples
+//!
+//! ```
+//! use clapped_accel::{characterize, AcceleratorSpec, CharacterizeConfig};
+//! use clapped_axops::Catalog;
+//!
+//! let catalog = Catalog::standard();
+//! let spec = AcceleratorSpec::uniform_2d(32, 3, &catalog.get("mul8s_tr4").unwrap());
+//! let report = characterize(&spec, &CharacterizeConfig::default()).unwrap();
+//! assert!(report.luts > 0);
+//! assert!(report.latency_cycles > 32 * 32);
+//! ```
+
+mod datapath;
+mod features;
+mod perf;
+mod spec;
+mod streamsim;
+
+pub use datapath::build_datapath;
+pub use features::{features, table1_rows, FeatureMode, MulProps, OpLibrary, PerfMetric};
+pub use perf::{characterize, characterize_fast, compute_duty_factor, latency_cycles, AccelReport, CharacterizeConfig};
+pub use spec::AcceleratorSpec;
+pub use streamsim::simulate_stream;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for accelerator characterization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AccelError {
+    /// The specification is internally inconsistent.
+    BadSpec {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// Synthesis of the datapath failed.
+    Synth(String),
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::BadSpec { reason } => write!(f, "invalid accelerator spec: {reason}"),
+            AccelError::Synth(msg) => write!(f, "datapath synthesis failed: {msg}"),
+        }
+    }
+}
+
+impl Error for AccelError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, AccelError>;

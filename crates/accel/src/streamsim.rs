@@ -1,0 +1,271 @@
+//! Bit-true accelerator simulation: streams an image through the
+//! generated datapath *netlist* and produces the output image the
+//! hardware would produce.
+//!
+//! This closes the loop between the software application model
+//! (`clapped-imgproc`'s `ConvEngine`) and the hardware (the datapath
+//! built by [`crate::build_datapath`]): both must produce identical
+//! pixels for matching configurations, which the integration tests
+//! assert. Simulation packs 64 output pixels per netlist evaluation, so
+//! a 64×64 image takes only ~64 datapath evaluations.
+
+use crate::{build_datapath, AcceleratorSpec, Result};
+use clapped_imgproc::{ConvMode, Image};
+use clapped_netlist::{pack_bus_samples, Netlist};
+
+/// Simulates the accelerator's processing of `image` with the given
+/// quantized kernel weights, returning the output image.
+///
+/// The weights are the per-tap coefficient inputs (`window²` for 2D,
+/// `2·window` for separable — the 1DH weights first); `shift` is the
+/// normalization built into the datapath. Pixels are quantized/rescaled
+/// with the same convention as the software engine (`v >> 1` in,
+/// `v << 1` out).
+///
+/// The output has the configuration's natural size (shrunk when
+/// downsampling).
+///
+/// # Errors
+///
+/// Propagates specification and netlist-simulation errors.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != spec.taps()` or the image is not
+/// `spec.image_size` squared.
+pub fn simulate_stream(
+    spec: &AcceleratorSpec,
+    image: &Image,
+    weights: &[i8],
+    shift: u32,
+) -> Result<Image> {
+    spec.validate()?;
+    assert_eq!(weights.len(), spec.taps(), "one weight per tap");
+    assert_eq!(image.width(), spec.image_size, "image width mismatch");
+    assert_eq!(image.height(), spec.image_size, "image height mismatch");
+    let datapath = build_datapath(spec, shift)?;
+    match spec.mode {
+        ConvMode::TwoD => {
+            let w = spec.window;
+            let out = run_pe_grid(&datapath, image, weights, w, spec.stride, spec.stride, 0, |img, x, y, dx, dy, half| {
+                img.get_clamped(x as isize + dx as isize - half, y as isize + dy as isize - half)
+            });
+            Ok(finish(out, image, spec))
+        }
+        ConvMode::Separable => {
+            let w = spec.window;
+            // Horizontal pass with the first w taps (outputs 0..8 of the
+            // datapath), strided along x.
+            let h = run_pe_grid(&datapath, image, &weights[..w], w, spec.stride, 1, 0, |img, x, y, dx, _dy, half| {
+                img.get_clamped(x as isize + dx as isize - half, y as isize)
+            });
+            let h_img = if spec.downsample {
+                h
+            } else {
+                replicate(&h, image.width(), image.height(), spec.stride, 1)
+            };
+            // Vertical pass with the last w taps (outputs 8..16), strided
+            // along y.
+            let v = run_pe_grid(&datapath, &h_img, &weights[w..], w, 1, spec.stride, 8, |img, x, y, _dx, dy, half| {
+                img.get_clamped(x as isize, y as isize + dy as isize - half)
+            });
+            let v_img = if spec.downsample {
+                v
+            } else {
+                replicate(&v, h_img.width(), h_img.height(), 1, spec.stride)
+            };
+            Ok(v_img)
+        }
+    }
+}
+
+/// Evaluates the datapath on the stride grid, 64 output positions per
+/// netlist evaluation. `tap_window` gathers the pixel for tap index
+/// `(dx, dy)`; `out_base` selects which output byte of the datapath to
+/// read (separable datapaths expose two PEs).
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn run_pe_grid(
+    datapath: &Netlist,
+    image: &Image,
+    weights: &[i8],
+    window: usize,
+    stride_x: usize,
+    stride_y: usize,
+    out_base: usize,
+    tap_window: impl Fn(&Image, usize, usize, usize, usize, isize) -> u8,
+) -> Image {
+    let half = (window / 2) as isize;
+    let taps = weights.len();
+    let is_2d = taps == window * window;
+    let ow = image.width().div_ceil(stride_x);
+    let oh = image.height().div_ceil(stride_y);
+    let mut out = Image::filled(ow, oh, 0);
+    let positions: Vec<(usize, usize)> = (0..oh)
+        .flat_map(|oy| (0..ow).map(move |ox| (ox, oy)))
+        .collect();
+    for chunk in positions.chunks(64) {
+        // Input words: per tap, px bus then co bus (declaration order of
+        // the relevant PE). For separable datapaths the vertical PE's
+        // inputs come second; unused PE inputs are driven with zeros.
+        let mut words: Vec<u64> = Vec::new();
+        let pack_taps = |active: bool, words: &mut Vec<u64>| {
+            for t in 0..taps {
+                let (dx, dy) = if is_2d {
+                    (t % window, t / window)
+                } else {
+                    (t, t)
+                };
+                let px_vals: Vec<i64> = chunk
+                    .iter()
+                    .map(|&(ox, oy)| {
+                        if active {
+                            let x = ox * stride_x;
+                            let y = oy * stride_y;
+                            i64::from(tap_window(image, x, y, dx, dy, half) >> 1)
+                        } else {
+                            0
+                        }
+                    })
+                    .collect();
+                words.extend(pack_bus_samples(&px_vals, 8));
+                let co_vals: Vec<i64> = chunk
+                    .iter()
+                    .map(|_| if active { i64::from(weights[t]) } else { 0 })
+                    .collect();
+                words.extend(pack_bus_samples(&co_vals, 8));
+            }
+        };
+        // The datapath declares PE inputs in build order; out_base == 0
+        // means we drive the first PE actively, otherwise the second.
+        if datapath.inputs().len() == taps * 16 {
+            pack_taps(true, &mut words);
+        } else if out_base == 0 {
+            pack_taps(true, &mut words);
+            pack_taps(false, &mut words);
+        } else {
+            pack_taps(false, &mut words);
+            pack_taps(true, &mut words);
+        }
+        let outs = datapath
+            .simulate_words(&words)
+            .expect("datapath interface generated consistently");
+        for (lane, &(ox, oy)) in chunk.iter().enumerate() {
+            let mut v = 0u8;
+            for bit in 0..8 {
+                if (outs[out_base + bit] >> lane) & 1 == 1 {
+                    v |= 1 << bit;
+                }
+            }
+            out.set(ox, oy, v << 1);
+        }
+    }
+    out
+}
+
+/// Zero-order-hold replication of a strided grid back to full size.
+fn replicate(grid: &Image, width: usize, height: usize, sx: usize, sy: usize) -> Image {
+    Image::from_fn(width, height, |x, y| grid.get(x / sx, y / sy))
+}
+
+fn finish(out: Image, image: &Image, spec: &AcceleratorSpec) -> Image {
+    if spec.downsample || spec.stride == 1 {
+        out
+    } else {
+        replicate(&out, image.width(), image.height(), spec.stride, spec.stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clapped_axops::{Catalog, Mul8s};
+    use clapped_imgproc::{ConvConfig, ConvEngine, QuantKernel, SynthKind};
+    use std::sync::Arc;
+
+    fn engine_and_kernel() -> (ConvEngine, QuantKernel) {
+        let k = QuantKernel::gaussian(3, 0.85);
+        (ConvEngine::new(k.clone()), k)
+    }
+
+    fn taps_of(m: &Arc<clapped_axops::AxMul>, n: usize) -> Vec<Arc<dyn Mul8s>> {
+        (0..n).map(|_| m.clone() as Arc<dyn Mul8s>).collect()
+    }
+
+    #[test]
+    fn hardware_matches_software_2d() {
+        let cat = Catalog::standard();
+        for op in ["mul8s_exact", "mul8s_tr4", "mul8s_drum4"] {
+            let m = cat.get(op).unwrap();
+            let img = Image::synthetic(SynthKind::SmoothField, 16, 16, 3);
+            let (engine, kernel) = engine_and_kernel();
+            let cfg = ConvConfig::default();
+            let sw = engine.convolve(&img, &cfg, &taps_of(&m, 9)).unwrap();
+            let spec = AcceleratorSpec::uniform_2d(16, 3, &m);
+            let hw = simulate_stream(&spec, &img, kernel.coeffs_2d(), kernel.shift()).unwrap();
+            assert_eq!(sw, hw, "hardware/software divergence for {op}");
+        }
+    }
+
+    #[test]
+    fn hardware_matches_software_strided() {
+        let cat = Catalog::standard();
+        let m = cat.get("mul8s_tr3").unwrap();
+        let img = Image::synthetic(SynthKind::Blobs, 16, 16, 5);
+        let (engine, kernel) = engine_and_kernel();
+        for downsample in [true, false] {
+            let cfg = ConvConfig {
+                stride: 2,
+                downsample,
+                ..ConvConfig::default()
+            };
+            let sw = engine.convolve(&img, &cfg, &taps_of(&m, 9)).unwrap();
+            let spec = AcceleratorSpec {
+                stride: 2,
+                downsample,
+                ..AcceleratorSpec::uniform_2d(16, 3, &m)
+            };
+            let hw = simulate_stream(&spec, &img, kernel.coeffs_2d(), kernel.shift()).unwrap();
+            assert_eq!(sw, hw, "divergence with downsample={downsample}");
+        }
+    }
+
+    #[test]
+    fn hardware_matches_software_separable() {
+        let cat = Catalog::standard();
+        let m = cat.get("mul8s_exact").unwrap();
+        let img = Image::synthetic(SynthKind::Gradient, 16, 16, 0);
+        let (engine, kernel) = engine_and_kernel();
+        let cfg = ConvConfig {
+            mode: ConvMode::Separable,
+            ..ConvConfig::default()
+        };
+        let sw = engine.convolve(&img, &cfg, &taps_of(&m, 6)).unwrap();
+        let spec = AcceleratorSpec {
+            mode: ConvMode::Separable,
+            muls: vec![m.clone(); 6],
+            ..AcceleratorSpec::uniform_2d(16, 3, &m)
+        };
+        let mut weights = kernel.coeffs_1d().to_vec();
+        weights.extend_from_slice(kernel.coeffs_1d());
+        let hw = simulate_stream(&spec, &img, &weights, kernel.shift_1d()).unwrap();
+        assert_eq!(sw, hw, "separable hardware/software divergence");
+    }
+
+    #[test]
+    fn mixed_tap_multipliers_match() {
+        let cat = Catalog::standard();
+        let exact = cat.get("mul8s_exact").unwrap();
+        let rough = cat.get("mul8s_bam_v6_h2").unwrap();
+        let img = Image::synthetic(SynthKind::Checkerboard, 16, 16, 0);
+        let (engine, kernel) = engine_and_kernel();
+        let mut taps = taps_of(&exact, 9);
+        taps[0] = rough.clone();
+        taps[4] = rough.clone();
+        let sw = engine.convolve(&img, &ConvConfig::default(), &taps).unwrap();
+        let mut spec = AcceleratorSpec::uniform_2d(16, 3, &exact);
+        spec.muls[0] = rough.clone();
+        spec.muls[4] = rough;
+        let hw = simulate_stream(&spec, &img, kernel.coeffs_2d(), kernel.shift()).unwrap();
+        assert_eq!(sw, hw);
+    }
+}

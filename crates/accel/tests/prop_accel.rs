@@ -1,0 +1,101 @@
+//! Property tests for accelerator estimation: latency/duty algebra and
+//! feature shape invariants over random specs.
+
+use clapped_accel::{
+    compute_duty_factor, features, latency_cycles, AcceleratorSpec, FeatureMode, PerfMetric,
+};
+use clapped_axops::Catalog;
+use clapped_imgproc::ConvMode;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn catalog() -> &'static Catalog {
+    static CATALOG: OnceLock<Catalog> = OnceLock::new();
+    CATALOG.get_or_init(Catalog::standard)
+}
+
+fn random_spec(image_pick: usize, stride: usize, ds: bool, mode_pick: bool, mul: usize) -> AcceleratorSpec {
+    let cat = catalog();
+    let image_size = [16, 32, 48, 64, 96, 128][image_pick % 6];
+    let mode = if mode_pick { ConvMode::Separable } else { ConvMode::TwoD };
+    let taps = match mode {
+        ConvMode::TwoD => 9,
+        ConvMode::Separable => 6,
+    };
+    AcceleratorSpec {
+        image_size,
+        window: 3,
+        stride,
+        downsample: ds,
+        mode,
+        muls: vec![cat.at(mul % cat.len()).expect("valid index"); taps],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Latency grows strictly with image size and never depends on the
+    /// multiplier choice.
+    #[test]
+    fn latency_axioms(
+        image_pick in 0usize..5, stride in 1usize..=3, ds: bool, sep: bool,
+        mul_a in 0usize..20, mul_b in 0usize..20,
+    ) {
+        let a = random_spec(image_pick, stride, ds, sep, mul_a);
+        let b = random_spec(image_pick, stride, ds, sep, mul_b);
+        prop_assert_eq!(latency_cycles(&a), latency_cycles(&b));
+        let bigger = random_spec(image_pick + 1, stride, ds, sep, mul_a);
+        prop_assert!(latency_cycles(&bigger) > latency_cycles(&a));
+        // 2D latency is stride independent (input-stream bound).
+        if !sep {
+            let s1 = random_spec(image_pick, 1, ds, sep, mul_a);
+            prop_assert_eq!(latency_cycles(&a), latency_cycles(&s1));
+        }
+    }
+
+    /// The compute duty factor is in (0, 1] and decreases with stride.
+    #[test]
+    fn duty_axioms(image_pick in 0usize..6, ds: bool, sep: bool, mul in 0usize..20) {
+        let mut last = f64::INFINITY;
+        for stride in 1usize..=4 {
+            let s = random_spec(image_pick, stride, ds, sep, mul);
+            let duty = compute_duty_factor(&s);
+            prop_assert!(duty > 0.0 && duty <= 1.0);
+            prop_assert!(duty <= last + 1e-12);
+            last = duty;
+        }
+    }
+
+    /// Feature vectors have metric-specific fixed widths for every spec
+    /// in the 2D family.
+    #[test]
+    fn feature_widths_are_stable(
+        image_pick in 0usize..6, stride in 1usize..=3, ds: bool, mul in 0usize..20,
+    ) {
+        static LIB: OnceLock<clapped_accel::OpLibrary> = OnceLock::new();
+        let lib = LIB.get_or_init(|| {
+            clapped_accel::OpLibrary::characterize(
+                catalog(),
+                &clapped_netlist::SynthConfig { verify_rounds: 0, ..Default::default() },
+            )
+            .expect("library synthesizes")
+        });
+        let spec = random_spec(image_pick, stride, ds, false, mul);
+        let widths: Vec<usize> = PerfMetric::ALL
+            .iter()
+            .map(|&m| features(&spec, m, FeatureMode::Exp, lib).expect("features").len())
+            .collect();
+        prop_assert_eq!(widths, vec![3 + 18, 3 + 9, 1, 3 + 18]);
+        let idx = features(&spec, PerfMetric::Pdp, FeatureMode::Idx, lib).expect("features");
+        prop_assert_eq!(idx.len(), 3 + 9);
+    }
+
+    /// Line-buffer bits scale linearly with image size.
+    #[test]
+    fn memory_scaling_is_linear(stride in 1usize..=3, ds: bool, mul in 0usize..20) {
+        let small = random_spec(0, stride, ds, false, mul); // 16
+        let large = random_spec(3, stride, ds, false, mul); // 64
+        prop_assert_eq!(large.line_buffer_bits(), 4 * small.line_buffer_bits());
+    }
+}

@@ -1,0 +1,159 @@
+//! Radix-4 (modified) Booth multiplier, exact and with truncated
+//! partial products.
+//!
+//! Booth recoding halves the partial-product count (4 rows for 8-bit
+//! operands) at the cost of recoding logic — a different LUT/delay
+//! trade-off point than the Baugh-Wooley array, which widens the
+//! hardware diversity the accelerator-performance models must learn.
+
+use clapped_netlist::bus::{self, Bus};
+use clapped_netlist::{Netlist, SignalId};
+
+/// Builds an 8×8 signed radix-4 Booth multiplier netlist
+/// (`a[8], b[8] -> p[16]`). The low `trunc` product columns' partial
+/// product bits are dropped (0 = exact).
+///
+/// The multiplicand is `a`; `b` is recoded into 4 signed digits in
+/// `{-2,-1,0,1,2}`.
+///
+/// # Panics
+///
+/// Panics if `trunc > 8`.
+pub(crate) fn build_booth(trunc: usize) -> Netlist {
+    assert!(trunc <= 8, "truncation must be at most 8 columns");
+    let mut n = Netlist::new(format!("mul8s_booth_tr{trunc}_net"));
+    let a = n.input_bus("a", 8);
+    let b = n.input_bus("b", 8);
+
+    // Precompute multiplicand multiples over 10 bits (enough headroom
+    // for ±2A of an 8-bit signed value).
+    let a10 = bus::sign_extend(&a, 10);
+    let zero = n.constant(false);
+    let mut a2 = vec![zero];
+    a2.extend_from_slice(&a[..]);
+    let a2 = bus::sign_extend(&a2, 10); // 2A
+
+    let mut cols = bus::Columns::new(16);
+    let mut correction_bits: Vec<(usize, SignalId)> = Vec::new();
+    for digit in 0..4 {
+        // Booth window: b[2d+1], b[2d], b[2d-1] (b[-1] = 0).
+        let b_hi = b[2 * digit + 1];
+        let b_mid = b[2 * digit];
+        let b_lo = if digit == 0 { zero } else { b[2 * digit - 1] };
+        // neg = b_hi; two = hi&mid&lo == hi ^ (mid|lo)? Standard recode:
+        //   zero  when all three equal
+        //   two   when (hi, mid, lo) = (0,1,1)->+2? no: (1,0,0) = -2, (0,1,1) = +2
+        //   one   otherwise (sign = hi)
+        let one = n.xor(b_mid, b_lo);
+        let not_hi = n.not(b_hi);
+        let pos_two = n.and(not_hi, b_mid);
+        let pos_two = n.and(pos_two, b_lo); // (0,1,1) -> +2
+        let not_mid = n.not(b_mid);
+        let not_lo = n.not(b_lo);
+        let neg_two_t = n.and(b_hi, not_mid);
+        let neg_two = n.and(neg_two_t, not_lo); // (1,0,0) -> -2
+        let two = n.or(pos_two, neg_two);
+        // Negative when hi=1 and the window is not all-ones (zero digit).
+        let all = n.and3(b_hi, b_mid, b_lo);
+        let not_all = n.not(all);
+        let neg = n.and(b_hi, not_all);
+
+        // Select |multiple|: two ? 2A : (one ? A : 0).
+        let sel_one: Bus = a10.iter().map(|&bit| n.and(bit, one)).collect();
+        let selected = bus::mux_bus(&mut n, two, &a2, &sel_one);
+        // Conditional inversion; the +1 goes into the matrix column.
+        let inverted: Bus = selected.iter().map(|&bit| n.xor(bit, neg)).collect();
+
+        // Place into columns at weight 4^digit, sign-extended to the top.
+        let base = 2 * digit;
+        for (k, &bit) in inverted.iter().enumerate() {
+            if base + k < 16 {
+                cols.push(base + k, bit);
+            }
+        }
+        let msb = *inverted.last().expect("non-empty");
+        for k in (base + 10)..16 {
+            cols.push(k, msb);
+        }
+        correction_bits.push((base, neg));
+    }
+    for (col, bit) in correction_bits {
+        cols.push(col, bit);
+    }
+    // Truncation: clear the low product columns.
+    for c in 0..trunc {
+        cols.take_col(c);
+    }
+    let p = cols.finalize(&mut n, 16);
+    n.output_bus("p", &p);
+    n
+}
+
+/// Behavioural reference of the radix-4 Booth recoding (exact digits),
+/// used as the oracle for the exact variant.
+pub fn booth_reference(a: i8, b: i8) -> i16 {
+    let mut acc: i32 = 0;
+    let bu = b as i32;
+    for digit in 0..4 {
+        let hi = (bu >> (2 * digit + 1)) & 1;
+        let mid = (bu >> (2 * digit)) & 1;
+        let lo = if digit == 0 { 0 } else { (bu >> (2 * digit - 1)) & 1 };
+        let d = match (hi, mid, lo) {
+            (0, 0, 0) | (1, 1, 1) => 0,
+            (0, 0, 1) | (0, 1, 0) => 1,
+            (0, 1, 1) => 2,
+            (1, 0, 0) => -2,
+            (1, 0, 1) | (1, 1, 0) => -1,
+            _ => unreachable!("3-bit window"),
+        };
+        acc += (d * i32::from(a)) << (2 * digit);
+    }
+    acc as i16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{build_mul_table, exhaustive_pairs};
+
+    #[test]
+    fn booth_reference_is_exact() {
+        for (a, b) in exhaustive_pairs().step_by(11) {
+            assert_eq!(booth_reference(a, b), a as i16 * b as i16, "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn exact_booth_netlist_is_exact_exhaustively() {
+        let table = build_mul_table(&build_booth(0));
+        for (a, b) in exhaustive_pairs() {
+            let idx = ((a as u8 as usize) << 8) | (b as u8 as usize);
+            assert_eq!(table[idx], a as i16 * b as i16, "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn truncated_booth_error_is_bounded() {
+        let table = build_mul_table(&build_booth(4));
+        let mut max_err = 0i32;
+        for (a, b) in exhaustive_pairs().step_by(7) {
+            let idx = ((a as u8 as usize) << 8) | (b as u8 as usize);
+            let err = (i32::from(table[idx]) - i32::from(a) * i32::from(b)).abs();
+            max_err = max_err.max(err);
+        }
+        assert!(max_err > 0, "truncated Booth must be approximate");
+        // Dropping 4 columns of up to 5 rows (4 digits + corrections)
+        // bounds the error by a few times 2^4.
+        assert!(max_err <= 5 * 16, "max err {max_err}");
+    }
+
+    #[test]
+    fn booth_uses_fewer_partial_product_rows() {
+        use clapped_netlist::optimize;
+        // Booth should trade AND-array area for recoding logic; both
+        // must land in the same ballpark as the BW array.
+        let booth = optimize(&build_booth(0)).logic_gate_count();
+        let bw = optimize(&crate::MulArch::Exact.build_netlist()).logic_gate_count();
+        assert!(booth < bw * 2, "booth {booth} vs bw {bw}");
+    }
+}

@@ -1,0 +1,195 @@
+//! The standard multiplier catalog and paper-name aliases.
+
+use crate::{AxMul, MulArch};
+use std::sync::Arc;
+
+/// Aliases mapping the EvoApprox8b multiplier names used in the paper to
+/// the accuracy-class-equivalent operators of this library.
+///
+/// The mapping is by accuracy *class* (near-accurate … highly
+/// approximate), not bit-exact reproduction: `mul8s_1KVA` is EvoApprox's
+/// most accurate 8-bit signed multiplier, `mul8s_1KR3` one of its most
+/// aggressive ones, and the `T_9..T_13` set of Fig. 6 spans the middle.
+/// See DESIGN.md §2 for the substitution rationale.
+pub const PAPER_ALIASES: &[(&str, &str)] = &[
+    ("mul8s_1KVA", "mul8s_tr1"),
+    ("mul8s_1KVL", "mul8s_tr5"),
+    ("mul8s_1KX2", "mul8s_loa6"),
+    ("mul8s_1L1G", "mul8s_log"),
+    ("mul8s_1L2D", "mul8s_drum4"),
+    ("mul8s_1L2H", "mul8s_drum5"),
+    ("mul8s_1KR3", "mul8s_bam_v4_h1"),
+];
+
+/// A named collection of library multipliers.
+///
+/// # Examples
+///
+/// ```
+/// use clapped_axops::Catalog;
+///
+/// let cat = Catalog::standard();
+/// // Paper names resolve through the alias table.
+/// let m = cat.get("mul8s_1KVA").unwrap();
+/// assert_eq!(m.name(), "mul8s_tr1");
+/// # use clapped_axops::Mul8s;
+/// ```
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    muls: Vec<Arc<AxMul>>,
+}
+
+impl Catalog {
+    /// Builds the standard 24-operator catalog spanning near-exact to
+    /// highly approximate designs.
+    pub fn standard() -> Catalog {
+        use MulArch::*;
+        let specs: Vec<(String, MulArch)> = vec![
+            ("mul8s_exact".into(), Exact),
+            ("mul8s_tr1".into(), Truncated { k: 1 }),
+            ("mul8s_tr2".into(), Truncated { k: 2 }),
+            ("mul8s_tr3".into(), Truncated { k: 3 }),
+            ("mul8s_tr4".into(), Truncated { k: 4 }),
+            ("mul8s_tr5".into(), Truncated { k: 5 }),
+            ("mul8s_tr6".into(), Truncated { k: 6 }),
+            ("mul8s_bam_v4_h1".into(), BrokenArray { vbl: 4, hbl: 1 }),
+            ("mul8s_bam_v6_h2".into(), BrokenArray { vbl: 6, hbl: 2 }),
+            ("mul8s_bam_v8_h3".into(), BrokenArray { vbl: 8, hbl: 3 }),
+            ("mul8s_cmp4".into(), ApproxCompressor { cols: 4 }),
+            ("mul8s_cmp8".into(), ApproxCompressor { cols: 8 }),
+            ("mul8s_cmp10".into(), ApproxCompressor { cols: 10 }),
+            ("mul8s_loa4".into(), LoaFinal { k: 4 }),
+            ("mul8s_loa6".into(), LoaFinal { k: 6 }),
+            ("mul8s_loa8".into(), LoaFinal { k: 8 }),
+            ("mul8s_booth".into(), Booth { trunc: 0 }),
+            ("mul8s_booth_tr3".into(), Booth { trunc: 3 }),
+            ("mul8s_booth_tr5".into(), Booth { trunc: 5 }),
+            ("mul8s_log".into(), Mitchell),
+            ("mul8s_drum3".into(), Drum { k: 3 }),
+            ("mul8s_drum4".into(), Drum { k: 4 }),
+            ("mul8s_drum5".into(), Drum { k: 5 }),
+            ("mul8s_drum6".into(), Drum { k: 6 }),
+        ];
+        Catalog {
+            muls: specs
+                .into_iter()
+                .map(|(name, arch)| Arc::new(AxMul::new(name, arch)))
+                .collect(),
+        }
+    }
+
+    /// Builds a catalog from explicit `(name, arch)` specs.
+    pub fn from_specs(specs: impl IntoIterator<Item = (String, MulArch)>) -> Catalog {
+        Catalog {
+            muls: specs
+                .into_iter()
+                .map(|(name, arch)| Arc::new(AxMul::new(name, arch)))
+                .collect(),
+        }
+    }
+
+    /// Looks an operator up by library name or paper alias.
+    pub fn get(&self, name: &str) -> Option<Arc<AxMul>> {
+        let resolved = PAPER_ALIASES
+            .iter()
+            .find(|(alias, _)| *alias == name)
+            .map(|(_, target)| *target)
+            .unwrap_or(name);
+        self.muls
+            .iter()
+            .find(|m| crate::Mul8s::name(&***m) == resolved)
+            .cloned()
+    }
+
+    /// Operator at a positional index (catalog order is stable).
+    pub fn at(&self, idx: usize) -> Option<Arc<AxMul>> {
+        self.muls.get(idx).cloned()
+    }
+
+    /// Index of an operator by (resolved) name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let target = self.get(name)?;
+        self.muls
+            .iter()
+            .position(|m| Arc::ptr_eq(m, &target))
+    }
+
+    /// All operators in catalog order.
+    pub fn muls(&self) -> &[Arc<AxMul>] {
+        &self.muls
+    }
+
+    /// All operator names in catalog order.
+    pub fn names(&self) -> Vec<&str> {
+        self.muls.iter().map(|m| crate::Mul8s::name(&**m)).collect()
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.muls.len()
+    }
+
+    /// True when the catalog holds no operators.
+    pub fn is_empty(&self) -> bool {
+        self.muls.is_empty()
+    }
+
+    /// Iterates over the operators.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<AxMul>> {
+        self.muls.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exhaustive_pairs, Mul8s};
+
+    #[test]
+    fn standard_catalog_has_expected_size_and_unique_names() {
+        let cat = Catalog::standard();
+        assert!(cat.len() >= 21);
+        let mut names = cat.names();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        let cat = Catalog::standard();
+        for (alias, target) in PAPER_ALIASES {
+            let m = cat.get(alias).unwrap_or_else(|| panic!("alias {alias}"));
+            assert_eq!(m.name(), *target);
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let cat = Catalog::standard();
+        for (i, m) in cat.iter().enumerate() {
+            assert_eq!(cat.index_of(m.name()), Some(i));
+            assert_eq!(cat.at(i).unwrap().name(), m.name());
+        }
+        assert_eq!(cat.index_of("nope"), None);
+        assert!(cat.at(10_000).is_none());
+    }
+
+    #[test]
+    fn catalog_spans_wide_accuracy_range() {
+        let cat = Catalog::standard();
+        let mae = |m: &AxMul| -> f64 {
+            let mut acc = 0.0;
+            for (a, b) in exhaustive_pairs().step_by(17) {
+                acc += f64::from((i32::from(m.mul(a, b)) - i32::from(a) * i32::from(b)).abs());
+            }
+            acc / (65_536.0 / 17.0)
+        };
+        let maes: Vec<f64> = cat.iter().map(|m| mae(m)).collect();
+        let min = maes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = maes.iter().cloned().fold(0.0f64, f64::max);
+        assert_eq!(min, 0.0, "the exact multiplier has zero error");
+        assert!(max > 100.0, "the catalog should include aggressive designs (max MAE {max})");
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared sign/magnitude helpers for sign-magnitude multiplier
+//! architectures (Mitchell, DRUM).
+
+use clapped_netlist::bus::{self, Bus};
+use clapped_netlist::{Netlist, SignalId};
+
+/// Splits a two's-complement bus into `(magnitude, sign)`.
+///
+/// The magnitude keeps the full operand width, so the most negative value
+/// maps onto its unsigned magnitude (e.g. `-128 -> 0b1000_0000 = 128`).
+pub(crate) fn abs_bus(n: &mut Netlist, a: &[SignalId]) -> (Bus, SignalId) {
+    let sign = *a.last().expect("non-empty bus");
+    let neg = bus::negate(n, a);
+    let mag = bus::mux_bus(n, sign, &neg, a);
+    (mag, sign)
+}
+
+/// Applies `sign` (negate when set) and a `nonzero` gate to a magnitude
+/// bus: the result is `0` when `nonzero` is low, `-mag` when `sign` is
+/// set, `mag` otherwise.
+pub(crate) fn apply_sign_zero(
+    n: &mut Netlist,
+    mag: &[SignalId],
+    sign: SignalId,
+    nonzero: SignalId,
+) -> Bus {
+    let zero = bus::constant_bus(n, 0, mag.len());
+    let gated = bus::mux_bus(n, nonzero, mag, &zero);
+    let neg = bus::negate(n, &gated);
+    bus::mux_bus(n, sign, &neg, &gated)
+}

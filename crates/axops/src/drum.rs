@@ -1,0 +1,156 @@
+//! DRUM-style dynamic-range unbiased multiplier (8-bit signed).
+//!
+//! Each magnitude is reduced to a `k`-bit core anchored at its leading
+//! one; the discarded low part is compensated by forcing the core's LSB to
+//! 1 (the "unbiasing" trick of DRUM). The `k×k` core product is exact and
+//! shifted back into place. Larger `k` trades LUTs for accuracy.
+
+use crate::common::{abs_bus, apply_sign_zero};
+use clapped_netlist::bus::{self, Bus};
+use clapped_netlist::{Netlist, SignalId};
+
+/// Builds the DRUM netlist for core width `k` (interface
+/// `a[8], b[8] -> p[16]`).
+///
+/// # Panics
+///
+/// Panics if `k` is not in `3..=7`.
+pub(crate) fn build_drum(k: usize) -> Netlist {
+    assert!((3..=7).contains(&k), "DRUM core width must be in 3..=7");
+    let mut n = Netlist::new(format!("mul8s_drum{k}_net"));
+    let a = n.input_bus("a", 8);
+    let b = n.input_bus("b", 8);
+
+    let (mag_a, sa) = abs_bus(&mut n, &a);
+    let (mag_b, sb) = abs_bus(&mut n, &b);
+
+    let (core_a, sh_a, nz_a) = drum_operand(&mut n, &mag_a, k);
+    let (core_b, sh_b, nz_b) = drum_operand(&mut n, &mag_b, k);
+
+    // Exact k×k unsigned core product (2k bits).
+    let prod = bus::array_mul_unsigned(&mut n, &core_a, &core_b);
+
+    // Shift back by sh_a + sh_b (each fits 3 bits; sum fits 4).
+    let sh_a4 = bus::zero_extend(&mut n, &sh_a, 4);
+    let sh_b4 = bus::zero_extend(&mut n, &sh_b, 4);
+    let (total_sh, _) = bus::ripple_carry_add(&mut n, &sh_a4, &sh_b4, None);
+    let prod_ext = bus::zero_extend(&mut n, &prod, 16);
+    let p_mag = bus::barrel_shift_left(&mut n, &prod_ext, &total_sh);
+
+    let nz = n.and(nz_a, nz_b);
+    let sign = n.xor(sa, sb);
+    let p = apply_sign_zero(&mut n, &p_mag, sign, nz);
+    n.output_bus("p", &p);
+    n
+}
+
+/// Reduces a magnitude to its `k`-bit core: returns
+/// `(core, shift, nonzero)` with `core` of width `k` and `shift` of width
+/// 3 such that the approximated magnitude is `core << shift`.
+fn drum_operand(
+    n: &mut Netlist,
+    mag: &[SignalId],
+    k: usize,
+) -> (Bus, Bus, SignalId) {
+    let (oh, nz) = bus::leading_one_detect(n, mag);
+    let t = bus::encode_one_hot(n, &oh); // 3-bit leading-one position
+
+    // shift = max(t - (k - 1), 0); t and the constant widened to 4 bits so
+    // the subtraction's carry-out signals t >= k-1.
+    let t4 = bus::zero_extend(n, &t, 4);
+    let km1 = bus::constant_bus(n, (k - 1) as i64, 4);
+    let (diff, no_borrow) = bus::ripple_carry_sub(n, &t4, &km1);
+    let zero3 = bus::constant_bus(n, 0, 3);
+    let shift = bus::mux_bus(n, no_borrow, &diff[..3], &zero3);
+
+    // core = (mag >> shift) with the LSB forced high when we truncated.
+    let shifted = bus::barrel_shift_right(n, mag, &shift);
+    let mut core: Bus = shifted[..k].to_vec();
+    let truncated = n.or_reduce(&shift);
+    let lsb_forced = n.or(core[0], truncated);
+    core[0] = lsb_forced;
+    (core, shift, nz)
+}
+
+/// Behavioural reference model of the DRUM multiplier, used as an
+/// independent oracle in tests.
+///
+/// # Panics
+///
+/// Panics if `k` is not in `3..=7`.
+pub fn drum_reference(a: i8, b: i8, k: usize) -> i16 {
+    assert!((3..=7).contains(&k));
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let sign = (a < 0) ^ (b < 0);
+    let reduce = |m: u32| -> (u32, u32) {
+        let t = 31 - m.leading_zeros();
+        if (t as usize) < k {
+            (m, 0)
+        } else {
+            let sh = t as usize - (k - 1);
+            ((m >> sh) | 1, sh as u32)
+        }
+    };
+    let (ca, sa) = reduce((a as i32).unsigned_abs());
+    let (cb, sb) = reduce((b as i32).unsigned_abs());
+    let mag = (ca * cb) << (sa + sb);
+    let v = if sign { -(mag as i64) } else { mag as i64 };
+    v as i16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{build_mul_table, exhaustive_pairs};
+
+    #[test]
+    fn netlist_matches_reference_exhaustively() {
+        for k in [3usize, 4, 6] {
+            let table = build_mul_table(&build_drum(k));
+            for (a, b) in exhaustive_pairs() {
+                let idx = ((a as u8 as usize) << 8) | (b as u8 as usize);
+                assert_eq!(table[idx], drum_reference(a, b, k), "drum{k}: {a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_magnitudes_are_exact() {
+        let k = 4;
+        for a in -7i8..=7 {
+            for b in -7i8..=7 {
+                assert_eq!(drum_reference(a, b, k), a as i16 * b as i16, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_improves_with_core_width() {
+        let mae = |k: usize| -> f64 {
+            let mut acc = 0.0;
+            for (a, b) in exhaustive_pairs() {
+                acc += f64::from((i32::from(drum_reference(a, b, k)) - i32::from(a) * i32::from(b)).abs());
+            }
+            acc / 65_536.0
+        };
+        let (m3, m5, m7) = (mae(3), mae(5), mae(7));
+        assert!(m3 > m5 && m5 > m7, "MAE {m3} {m5} {m7}");
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // DRUM-k relative error is bounded by ~2^-(k-1) per operand.
+        let k = 5;
+        for (a, b) in exhaustive_pairs().step_by(7) {
+            let exact = i32::from(a) * i32::from(b);
+            if exact == 0 {
+                continue;
+            }
+            let approx = i32::from(drum_reference(a, b, k));
+            let rel = (exact - approx).abs() as f64 / exact.unsigned_abs() as f64;
+            assert!(rel < 0.15, "rel {rel} for {a}*{b}");
+        }
+    }
+}

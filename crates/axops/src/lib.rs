@@ -1,0 +1,190 @@
+// Index-based loops over multiple coupled arrays are the clearest idiom
+// for the numeric kernels in this crate.
+#![allow(clippy::needless_range_loop)]
+
+//! Approximate arithmetic operator library.
+//!
+//! This crate is CLAppED's analogue of the EvoApprox8b / SMApproxlib
+//! operator libraries the paper draws its multipliers from. Every operator
+//! is defined by a **gate-level netlist** (built with `clapped-netlist`'s
+//! structural builders) from which a behavioural lookup table is derived
+//! by exhaustive simulation — so the "software model" and the "hardware"
+//! are equivalent by construction, and the same artifact can be both
+//! executed in application models and pushed through the synthesis flow.
+//!
+//! Implemented multiplier architectures (all 8-bit signed, 16-bit product):
+//!
+//! - exact Baugh-Wooley array ([`MulArch::Exact`]),
+//! - LSB-column truncation ([`MulArch::Truncated`]),
+//! - broken-array multipliers ([`MulArch::BrokenArray`]),
+//! - approximate 4:2-compressor reduction ([`MulArch::ApproxCompressor`]),
+//! - lower-part-OR final adder ([`MulArch::LoaFinal`]),
+//! - Mitchell logarithmic multiplication ([`MulArch::Mitchell`]),
+//! - DRUM-style dynamic-range multiplication ([`MulArch::Drum`]),
+//! - radix-4 Booth recoding with truncation ([`MulArch::Booth`]).
+//!
+//! Approximate adders (8-bit signed) live in [`adders`].
+//!
+//! # Examples
+//!
+//! ```
+//! use clapped_axops::{Catalog, Mul8s};
+//!
+//! let catalog = Catalog::standard();
+//! let exact = catalog.get("mul8s_exact").unwrap();
+//! assert_eq!(exact.mul(-7, 9), -63);
+//! let approx = catalog.get("mul8s_tr3").unwrap();
+//! // A truncated multiplier drops low-order information.
+//! assert_ne!(approx.mul(3, 3), 9);
+//! ```
+
+pub mod adders;
+mod arch;
+mod booth;
+mod catalog;
+mod common;
+mod drum;
+mod logmul;
+mod table;
+
+pub use arch::MulArch;
+pub use catalog::{Catalog, PAPER_ALIASES};
+pub use booth::booth_reference;
+pub use drum::drum_reference;
+pub use logmul::mitchell_reference;
+pub use table::exhaustive_pairs;
+
+use clapped_netlist::Netlist;
+use std::fmt;
+use std::sync::Arc;
+
+/// An 8-bit signed multiplier: the operator abstraction every CLAppED
+/// stage consumes.
+///
+/// Implementors must be deterministic pure functions of their inputs.
+/// Besides the library operators ([`AxMul`]), the polynomial-regression
+/// estimator in `clapped-errmodel` also implements this trait so that
+/// PR-based operator models can be dropped into application code.
+pub trait Mul8s: Send + Sync + fmt::Debug {
+    /// Unique operator name (e.g. `"mul8s_tr3"`).
+    fn name(&self) -> &str;
+
+    /// Multiplies two signed 8-bit values, possibly approximately.
+    fn mul(&self, a: i8, b: i8) -> i16;
+}
+
+/// A library multiplier: an architecture instantiated into a gate-level
+/// netlist plus its exhaustively-derived behavioural table.
+///
+/// # Examples
+///
+/// ```
+/// use clapped_axops::{AxMul, MulArch, Mul8s};
+///
+/// let m = AxMul::new("demo", MulArch::Truncated { k: 2 });
+/// assert_eq!(m.mul(16, 16), 256); // high bits unaffected
+/// assert!(m.netlist().logic_gate_count() > 0);
+/// ```
+#[derive(Clone)]
+pub struct AxMul {
+    name: String,
+    arch: MulArch,
+    netlist: Arc<Netlist>,
+    table: Arc<[i16]>,
+}
+
+impl AxMul {
+    /// Instantiates an architecture under a given operator name.
+    ///
+    /// Builds the gate-level netlist and derives the behavioural table by
+    /// exhaustive 64-lane simulation of all 65 536 input pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture parameters are out of range (e.g. a
+    /// truncation width larger than the product) — operator construction
+    /// is a programming-time activity, not a runtime input.
+    pub fn new(name: impl Into<String>, arch: MulArch) -> AxMul {
+        let netlist = arch.build_netlist();
+        let table = table::build_mul_table(&netlist);
+        AxMul {
+            name: name.into(),
+            arch,
+            netlist: Arc::new(netlist),
+            table: table.into(),
+        }
+    }
+
+    /// The architecture this operator instantiates.
+    pub fn arch(&self) -> &MulArch {
+        &self.arch
+    }
+
+    /// The operator's gate-level netlist (16 inputs `a[0..8], b[0..8]`,
+    /// 16 outputs `p[0..16]`).
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Iterates over `((a, b), product)` for the full input space.
+    pub fn iter_exhaustive(&self) -> impl Iterator<Item = ((i8, i8), i16)> + '_ {
+        exhaustive_pairs().map(move |(a, b)| ((a, b), self.mul(a, b)))
+    }
+}
+
+impl Mul8s for AxMul {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn mul(&self, a: i8, b: i8) -> i16 {
+        let idx = ((a as u8 as usize) << 8) | (b as u8 as usize);
+        self.table[idx]
+    }
+}
+
+impl fmt::Debug for AxMul {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AxMul")
+            .field("name", &self.name)
+            .field("arch", &self.arch)
+            .field("gates", &self.netlist.logic_gate_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiplier_is_exact_everywhere() {
+        let m = AxMul::new("exact", MulArch::Exact);
+        for (a, b) in exhaustive_pairs() {
+            assert_eq!(m.mul(a, b), a as i16 * b as i16, "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn table_lookup_matches_netlist_simulation() {
+        // Spot-check a non-trivial arch on a sample of the space.
+        let m = AxMul::new("t", MulArch::Truncated { k: 3 });
+        let pairs: Vec<(i64, i64)> = [(0i64, 0i64), (1, 1), (-1, -1), (127, 127), (-128, -128), (37, -91)]
+            .to_vec();
+        let sim = m
+            .netlist()
+            .simulate_binary_op(8, 8, &pairs, true)
+            .unwrap();
+        for (s, &(a, b)) in sim.iter().zip(&pairs) {
+            assert_eq!(*s as i16, m.mul(a as i8, b as i8));
+        }
+    }
+
+    #[test]
+    fn debug_impl_is_informative() {
+        let m = AxMul::new("dbg", MulArch::Exact);
+        let s = format!("{m:?}");
+        assert!(s.contains("dbg"));
+        assert!(s.contains("gates"));
+    }
+}

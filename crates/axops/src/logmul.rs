@@ -1,0 +1,135 @@
+//! Mitchell's logarithmic multiplier (8-bit signed).
+//!
+//! The operands are converted to sign-magnitude form; each magnitude `A`
+//! is approximated as `2^k (1 + q/128)` where `k` is the leading-one
+//! position and `q` the mantissa left-aligned to 7 bits. The logarithms
+//! are added and the antilogarithm is taken with the same linear
+//! interpolation, yielding the classic ≤ ~11 % underestimating error
+//! profile of Mitchell multipliers.
+
+use crate::common::{abs_bus, apply_sign_zero};
+use clapped_netlist::bus::{self};
+use clapped_netlist::Netlist;
+
+/// Builds the Mitchell multiplier netlist (interface `a[8], b[8] -> p[16]`).
+pub(crate) fn build_mitchell() -> Netlist {
+    let mut n = Netlist::new("mul8s_log_net");
+    let a = n.input_bus("a", 8);
+    let b = n.input_bus("b", 8);
+
+    let (mag_a, sa) = abs_bus(&mut n, &a);
+    let (mag_b, sb) = abs_bus(&mut n, &b);
+
+    // Leading-one detection and 3-bit characteristic for each magnitude.
+    let (oh_a, nz_a) = bus::leading_one_detect(&mut n, &mag_a);
+    let (oh_b, nz_b) = bus::leading_one_detect(&mut n, &mag_b);
+    let k_a = bus::encode_one_hot(&mut n, &oh_a);
+    let k_b = bus::encode_one_hot(&mut n, &oh_b);
+
+    // Mantissa: q = (A << (7 - k)) & 0x7F. For 3-bit k, 7 - k = !k.
+    let mantissa = |n: &mut Netlist, mag: &[clapped_netlist::SignalId], k: &[clapped_netlist::SignalId]| {
+        let shamt: Vec<_> = k.iter().map(|&s| n.not(s)).collect();
+        let shifted = bus::barrel_shift_left(n, mag, &shamt);
+        shifted[..7].to_vec()
+    };
+    let q_a = mantissa(&mut n, &mag_a, &k_a);
+    let q_b = mantissa(&mut n, &mag_b, &k_b);
+
+    // Log approximations L = {k, q} in Q7; sum them.
+    let mut l_a = q_a;
+    l_a.extend(k_a.iter().copied());
+    let mut l_b = q_b;
+    l_b.extend(k_b.iter().copied());
+    let (s, cout) = bus::ripple_carry_add(&mut n, &l_a, &l_b, None);
+
+    // Antilog: magnitude = (128 + frac) << ks >> 7.
+    let frac = &s[..7];
+    let mut ks = s[7..10].to_vec();
+    ks.push(cout);
+    let one = n.constant(true);
+    let mut m = frac.to_vec();
+    m.push(one);
+    let m_ext = bus::zero_extend(&mut n, &m, 23);
+    let shifted = bus::barrel_shift_left(&mut n, &m_ext, &ks);
+    let p_mag = shifted[7..23].to_vec();
+
+    let nz = n.and(nz_a, nz_b);
+    let sign = n.xor(sa, sb);
+    let p = apply_sign_zero(&mut n, &p_mag, sign, nz);
+    n.output_bus("p", &p);
+    n
+}
+
+/// Behavioural reference model of the Mitchell multiplier, used as an
+/// independent oracle in tests.
+pub fn mitchell_reference(a: i8, b: i8) -> i16 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let sign = (a < 0) ^ (b < 0);
+    let ma = (a as i32).unsigned_abs();
+    let mb = (b as i32).unsigned_abs();
+    let ka = 31 - ma.leading_zeros();
+    let kb = 31 - mb.leading_zeros();
+    let qa = (ma << (7 - ka)) & 0x7F;
+    let qb = (mb << (7 - kb)) & 0x7F;
+    let s = (ka << 7) + qa + (kb << 7) + qb;
+    let ks = s >> 7;
+    let frac = s & 0x7F;
+    let mag = ((128 + frac) << ks) >> 7;
+    let v = if sign { -(mag as i64) } else { mag as i64 };
+    v as i16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{build_mul_table, exhaustive_pairs};
+
+    #[test]
+    fn netlist_matches_reference_exhaustively() {
+        let table = build_mul_table(&build_mitchell());
+        for (a, b) in exhaustive_pairs() {
+            let idx = ((a as u8 as usize) << 8) | (b as u8 as usize);
+            assert_eq!(table[idx], mitchell_reference(a, b), "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn powers_of_two_are_exact() {
+        for &a in &[1i8, 2, 4, 8, 16, 32, 64, -1, -2, -64] {
+            for &b in &[1i8, 2, 4, 8, 32, -4, -16] {
+                assert_eq!(
+                    mitchell_reference(a, b),
+                    a as i16 * b as i16,
+                    "{a}*{b} should be exact for powers of two"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mitchell_underestimates_magnitude() {
+        for (a, b) in exhaustive_pairs().step_by(13) {
+            let approx = i32::from(mitchell_reference(a, b));
+            let exact = i32::from(a) * i32::from(b);
+            assert!(
+                approx.unsigned_abs() <= exact.unsigned_abs(),
+                "|approx| {approx} > |exact| {exact} for {a}*{b}"
+            );
+            // Classic Mitchell bound: relative error below ~11.2 %.
+            if exact != 0 {
+                let rel = (exact - approx).abs() as f64 / exact.unsigned_abs() as f64;
+                assert!(rel <= 0.12, "relative error {rel} for {a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_inputs_give_zero() {
+        for v in [-128i8, -1, 0, 1, 127] {
+            assert_eq!(mitchell_reference(0, v), 0);
+            assert_eq!(mitchell_reference(v, 0), 0);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Exhaustive behavioural-table extraction from operator netlists.
+
+use clapped_netlist::{pack_bus_samples, unpack_bus_samples, Netlist};
+
+/// Iterates over all 65 536 signed 8-bit input pairs, `a` outermost.
+///
+/// # Examples
+///
+/// ```
+/// let n = clapped_axops::exhaustive_pairs().count();
+/// assert_eq!(n, 65_536);
+/// ```
+pub fn exhaustive_pairs() -> impl Iterator<Item = (i8, i8)> {
+    (i8::MIN..=i8::MAX).flat_map(|a| (i8::MIN..=i8::MAX).map(move |b| (a, b)))
+}
+
+/// Builds the 256×256 product table of a multiplier netlist by exhaustive
+/// 64-lane simulation.
+///
+/// The netlist must have inputs `a[0..8]` then `b[0..8]` and a 16-bit
+/// signed product output. Table index is `(a as u8) << 8 | (b as u8)`.
+///
+/// # Panics
+///
+/// Panics if the netlist interface does not match (wrong input/output
+/// arity).
+pub fn build_mul_table(netlist: &Netlist) -> Vec<i16> {
+    assert_eq!(netlist.inputs().len(), 16, "expected 16 inputs (a, b)");
+    assert_eq!(netlist.outputs().len(), 16, "expected a 16-bit product");
+    let mut table = vec![0i16; 65_536];
+    let mut batch: Vec<(i8, i8)> = Vec::with_capacity(64);
+    let flush = |batch: &mut Vec<(i8, i8)>, table: &mut Vec<i16>| {
+        if batch.is_empty() {
+            return;
+        }
+        let a_vals: Vec<i64> = batch.iter().map(|p| p.0 as i64).collect();
+        let b_vals: Vec<i64> = batch.iter().map(|p| p.1 as i64).collect();
+        let mut words = pack_bus_samples(&a_vals, 8);
+        words.extend(pack_bus_samples(&b_vals, 8));
+        let outs = netlist
+            .simulate_words(&words)
+            .expect("operator netlist interface verified above");
+        let products = unpack_bus_samples(&outs, batch.len(), true);
+        for (&(a, b), &p) in batch.iter().zip(&products) {
+            let idx = ((a as u8 as usize) << 8) | (b as u8 as usize);
+            table[idx] = p as i16;
+        }
+        batch.clear();
+    };
+    for (a, b) in exhaustive_pairs() {
+        batch.push((a, b));
+        if batch.len() == 64 {
+            flush(&mut batch, &mut table);
+        }
+    }
+    flush(&mut batch, &mut table);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clapped_netlist::bus;
+
+    #[test]
+    fn exhaustive_pairs_covers_corners() {
+        let v: Vec<(i8, i8)> = exhaustive_pairs().collect();
+        assert_eq!(v.first(), Some(&(-128, -128)));
+        assert_eq!(v.last(), Some(&(127, 127)));
+        assert_eq!(v.len(), 65_536);
+    }
+
+    #[test]
+    fn table_of_exact_multiplier_is_exact() {
+        let mut n = Netlist::new("exact8");
+        let a = n.input_bus("a", 8);
+        let b = n.input_bus("b", 8);
+        let p = bus::baugh_wooley_mul(&mut n, &a, &b);
+        n.output_bus("p", &p);
+        let table = build_mul_table(&n);
+        for (a, b) in [(0i8, 0i8), (1, -1), (127, 127), (-128, 127), (-128, -128), (45, -3)] {
+            let idx = ((a as u8 as usize) << 8) | (b as u8 as usize);
+            assert_eq!(table[idx], a as i16 * b as i16, "{a}*{b}");
+        }
+    }
+}

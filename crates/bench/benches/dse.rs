@@ -1,0 +1,71 @@
+//! Criterion benchmarks for the DSE machinery: hypervolume computation,
+//! GP surrogate fitting/prediction, and one MBO iteration on a synthetic
+//! objective.
+
+use clapped_dse::{exclusive_contributions, hypervolume, mbo, Gp, MboConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect()
+}
+
+fn bench_hypervolume(c: &mut Criterion) {
+    let pts2 = random_points(100, 2, 1);
+    let pts3 = random_points(60, 3, 2);
+    c.bench_function("hypervolume_2d_100pts", |b| {
+        b.iter(|| hypervolume(black_box(&pts2), &[1.5, 1.5]))
+    });
+    c.bench_function("hypervolume_3d_60pts", |b| {
+        b.iter(|| hypervolume(black_box(&pts3), &[1.5, 1.5, 1.5]))
+    });
+    c.bench_function("exclusive_contributions_2d_100pts", |b| {
+        b.iter(|| exclusive_contributions(black_box(&pts2), &[1.5, 1.5]))
+    });
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let xs = random_points(150, 10, 3);
+    let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>()).collect();
+    c.bench_function("gp_fit_150x10", |b| {
+        b.iter(|| Gp::fit(black_box(&xs), black_box(&ys)).expect("fits"))
+    });
+    let gp = Gp::fit(&xs, &ys).expect("fits");
+    let q = vec![0.5; 10];
+    c.bench_function("gp_predict", |b| b.iter(|| gp.predict(black_box(&q))));
+}
+
+fn bench_mbo_iteration(c: &mut Criterion) {
+    let config = MboConfig {
+        initial_samples: 30,
+        iterations: 3,
+        batch: 10,
+        candidates: 50,
+        reference: vec![1.5, 1.5],
+        kappa: 1.0,
+        explore_fraction: 0.1,
+        seed: 4,
+    };
+    c.bench_function("mbo_toy_3iters", |b| {
+        b.iter(|| {
+            mbo(
+                &config,
+                |rng| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)],
+                |x| x.clone(),
+                |x| vec![x[0], (1.0 - x[0]) * (1.0 - x[0]) + 0.1 * x[1]],
+            )
+            .expect("runs")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hypervolume, bench_gp, bench_mbo_iteration
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmarks contrasting CLAppED's estimation paths: true
+//! behavioural execution vs PR-model substitution vs MLP inference —
+//! the cost hierarchy that motivates ML-based objective functions.
+
+use clapped_core::{Clapped, MulRepr};
+use clapped_dse::Configuration;
+use clapped_mlp::TrainConfig;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_estimation_paths(c: &mut Criterion) {
+    let fw = Clapped::builder()
+        .image_size(32)
+        .seed(3)
+        .build()
+        .expect("framework");
+    let config = Configuration {
+        mul_indices: vec![5; 9],
+        ..Configuration::golden(3)
+    };
+
+    c.bench_function("true_behavioural_eval_32px", |b| {
+        b.iter(|| fw.evaluate_error(black_box(&config)).expect("evaluates"))
+    });
+
+    // MLP path: train once, benchmark inference.
+    let (_, xs, ys) = fw
+        .make_error_dataset(128, MulRepr::Coeffs(4), 9)
+        .expect("dataset");
+    let model = fw
+        .train_error_model(
+            &xs,
+            &ys,
+            &TrainConfig {
+                epochs: 40,
+                ..TrainConfig::default()
+            },
+        )
+        .expect("training");
+    let x = fw.encode(&config, MulRepr::Coeffs(4));
+    c.bench_function("mlp_error_prediction", |b| {
+        b.iter(|| model.predict(black_box(&x)))
+    });
+
+    c.bench_function("encode_c4_features", |b| {
+        b.iter(|| fw.encode(black_box(&config), MulRepr::Coeffs(4)))
+    });
+
+    c.bench_function("true_hw_characterization", |b| {
+        b.iter(|| fw.characterize_hw(black_box(&config)).expect("synthesis"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_estimation_paths
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmarks for the operator layer: behavioural multiplier
+//! throughput, exhaustive characterization, and PR model fitting.
+
+use clapped_axops::{AxMul, Catalog, Mul8s, MulArch};
+use clapped_errmodel::{ErrorStats, PrModel};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_behavioural_mul(c: &mut Criterion) {
+    let catalog = Catalog::standard();
+    let exact = catalog.get("mul8s_exact").expect("present");
+    let log = catalog.get("mul8s_log").expect("present");
+    let mut group = c.benchmark_group("mul8s_throughput");
+    for (name, m) in [("exact", &exact), ("mitchell", &log)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0i32;
+                for a in -64i8..64 {
+                    for x in -64i8..64 {
+                        acc = acc.wrapping_add(i32::from(m.mul(black_box(a), black_box(x))));
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_operator_instantiation(c: &mut Criterion) {
+    c.bench_function("axmul_new_truncated", |b| {
+        b.iter(|| AxMul::new("bench", black_box(MulArch::Truncated { k: 3 })))
+    });
+    c.bench_function("axmul_new_mitchell", |b| {
+        b.iter(|| AxMul::new("bench", black_box(MulArch::Mitchell)))
+    });
+}
+
+fn bench_characterization(c: &mut Criterion) {
+    let m = AxMul::new("bench", MulArch::Drum { k: 4 });
+    c.bench_function("error_stats_exhaustive", |b| {
+        b.iter(|| ErrorStats::of_multiplier(black_box(&m)))
+    });
+    c.bench_function("pr_fit_degree3", |b| b.iter(|| PrModel::fit(black_box(&m), 3)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_behavioural_mul, bench_operator_instantiation, bench_characterization
+}
+criterion_main!(benches);

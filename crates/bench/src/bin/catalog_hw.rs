@@ -1,0 +1,68 @@
+//! Operator-library hardware characterization table — the analogue of
+//! the EvoApprox8b library card: LUTs, critical path, power and PDP for
+//! every multiplier in the catalog next to its error metrics, i.e. the
+//! raw material of the accuracy/cost trade-off CLAppED explores.
+
+use clapped_axops::{Catalog, Mul8s};
+use clapped_bench::{print_table, save_json};
+use clapped_errmodel::ErrorStats;
+use clapped_netlist::{synthesize, SynthConfig};
+use serde_json::json;
+
+fn main() {
+    let catalog = Catalog::standard();
+    let synth_cfg = SynthConfig::default();
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for m in catalog.iter() {
+        let stats = ErrorStats::of_multiplier(m.as_ref());
+        let hw = synthesize(m.netlist(), &synth_cfg).expect("operator synthesizes");
+        rows.push(vec![
+            m.name().to_string(),
+            format!("{:.2}", stats.mae),
+            format!("{:.4}", stats.mean_relative),
+            format!("{}", hw.lut_count),
+            format!("{}", hw.depth),
+            format!("{:.2}", hw.cpd_ns),
+            format!("{:.1}", hw.power.total_mw()),
+            format!("{:.0}", hw.pdp()),
+        ]);
+        json_rows.push(json!({
+            "operator": m.name(),
+            "arch": m.arch().describe(),
+            "mae": stats.mae,
+            "avg_rel": stats.mean_relative,
+            "error_prob": stats.error_probability,
+            "luts": hw.lut_count,
+            "depth": hw.depth,
+            "cpd_ns": hw.cpd_ns,
+            "power_mw": hw.power.total_mw(),
+            "pdp_pj": hw.pdp(),
+        }));
+    }
+    print_table(
+        "Operator library: accuracy vs hardware cost",
+        &["operator", "MAE", "avg-rel", "LUTs", "depth", "CPD ns", "mW", "PDP pJ"],
+        &rows,
+    );
+    // Pareto analysis over (MAE, LUTs): which operators earn their place?
+    let points: Vec<Vec<f64>> = json_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r["mae"].as_f64().expect("mae"),
+                r["luts"].as_f64().expect("luts"),
+            ]
+        })
+        .collect();
+    let front = clapped_dse::pareto_front(&points);
+    let names: Vec<&str> = front
+        .iter()
+        .map(|&i| json_rows[i]["operator"].as_str().expect("name"))
+        .collect();
+    println!("\nMAE × LUT Pareto-optimal operators: {}", names.join(", "));
+    save_json(
+        "catalog_hw",
+        &json!({ "operators": json_rows, "mae_lut_pareto": names }),
+    );
+}

@@ -1,0 +1,95 @@
+//! Figs. 8 and 9: MLP prediction of the Gaussian-smoothing output
+//! quality from cross-layer configurations, sweeping the multiplier
+//! representation (Index / M1 / M4 / C2..C10) — mean average error and
+//! fidelity on the train and test splits.
+//!
+//! The paper uses 2000 configurations, an 80/20 train/test split, and
+//! 20% of the training set for validation.
+
+use clapped_bench::{print_table, save_json};
+use clapped_core::{Clapped, MulRepr};
+use clapped_mlp::{fidelity, mae, TrainConfig};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::json;
+
+fn main() {
+    let n_configs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2000);
+    let fw = Clapped::builder()
+        .image_size(32)
+        .noise_sigma(12.0)
+        .seed(8)
+        .build()
+        .expect("framework construction");
+
+    // One shared configuration sample + true labels; features re-encoded
+    // per representation.
+    println!("evaluating {n_configs} random configurations ...");
+    let (configs, _, ys) = fw
+        .make_error_dataset(n_configs, MulRepr::Index, 100)
+        .expect("behavioural evaluation");
+
+    // 80/20 split, fixed across representations.
+    let mut order: Vec<usize> = (0..configs.len()).collect();
+    order.shuffle(&mut ChaCha8Rng::seed_from_u64(9));
+    let n_train = (configs.len() * 8) / 10;
+    let (train_idx, test_idx) = order.split_at(n_train);
+
+    let train_cfg = TrainConfig {
+        epochs: 150,
+        patience: 25,
+        seed: 5,
+        ..TrainConfig::default()
+    };
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for repr in MulRepr::paper_sweep() {
+        let xs: Vec<Vec<f64>> = configs.iter().map(|c| fw.encode(c, repr)).collect();
+        let xtr: Vec<Vec<f64>> = train_idx.iter().map(|&i| xs[i].clone()).collect();
+        let ytr: Vec<f64> = train_idx.iter().map(|&i| ys[i]).collect();
+        let xte: Vec<Vec<f64>> = test_idx.iter().map(|&i| xs[i].clone()).collect();
+        let yte: Vec<f64> = test_idx.iter().map(|&i| ys[i]).collect();
+        let model = fw
+            .train_error_model(&xtr, &ytr, &train_cfg)
+            .expect("training succeeds");
+        let ptr = model.predict_batch(&xtr);
+        let pte = model.predict_batch(&xte);
+        let (mae_tr, mae_te) = (mae(&ytr, &ptr), mae(&yte, &pte));
+        let (fid_tr, fid_te) = (fidelity(&ytr, &ptr), fidelity(&yte, &pte));
+        println!(
+            "{:>6}: train MAE {mae_tr:.3}, test MAE {mae_te:.3}, train fid {fid_tr:.1}%, test fid {fid_te:.1}%",
+            repr.label()
+        );
+        rows.push(vec![
+            repr.label(),
+            format!("{mae_tr:.3}"),
+            format!("{mae_te:.3}"),
+            format!("{fid_tr:.1}"),
+            format!("{fid_te:.1}"),
+            format!("{}", model.parameter_count()),
+        ]);
+        json_rows.push(json!({
+            "repr": repr.label(),
+            "train_mae": mae_tr, "test_mae": mae_te,
+            "train_fidelity": fid_tr, "test_fidelity": fid_te,
+            "parameters": model.parameter_count(),
+        }));
+    }
+    print_table(
+        "Figs 8+9: behavioural MLP by multiplier representation",
+        &["repr", "train MAE", "test MAE", "train fid%", "test fid%", "params"],
+        &rows,
+    );
+    println!("\nExpected shape (paper): Index is the worst on both metrics; M1/M4");
+    println!("improve on it; the C4..C6 PR representations are the best, with");
+    println!("very large coefficient counts hurting again for this dataset size.");
+    save_json(
+        "fig8_fig9",
+        &json!({ "configs": n_configs, "rows": json_rows }),
+    );
+}

@@ -1,0 +1,60 @@
+//! Table I: the feature dimensions of the EXP accelerator-performance
+//! models, verified against the implementation's actual feature widths.
+
+use clapped_accel::{features, table1_rows, AcceleratorSpec, CharacterizeConfig, FeatureMode, OpLibrary, PerfMetric};
+use clapped_axops::{Catalog, MulArch};
+use clapped_bench::{print_table, save_json};
+use serde_json::json;
+
+fn main() {
+    let rows_spec = table1_rows();
+    let rows: Vec<Vec<String>> = rows_spec
+        .iter()
+        .map(|(metric, accel_dims, mul_dims)| {
+            vec![metric.to_string(), accel_dims.to_string(), mul_dims.to_string()]
+        })
+        .collect();
+    print_table(
+        "Table I: MLP dimensions for accelerator performance modeling",
+        &["metric", "accelerator dimensions", "multiplier dimensions"],
+        &rows,
+    );
+
+    // Verify the implementation's feature widths match the table.
+    let mini = Catalog::from_specs(vec![
+        ("mul8s_exact".to_string(), MulArch::Exact),
+        ("mul8s_tr4".to_string(), MulArch::Truncated { k: 4 }),
+    ]);
+    let lib = OpLibrary::characterize(&mini, &CharacterizeConfig::default().synth)
+        .expect("library synthesis");
+    let spec = AcceleratorSpec::uniform_2d(32, 3, &mini.get("mul8s_tr4").expect("present"));
+    let widths: Vec<(PerfMetric, usize)> = PerfMetric::ALL
+        .iter()
+        .map(|&m| {
+            (
+                m,
+                features(&spec, m, FeatureMode::Exp, &lib)
+                    .expect("features extract")
+                    .len(),
+            )
+        })
+        .collect();
+    println!("\nactual EXP feature widths for a 3x3 2D design (9 taps):");
+    for (m, w) in &widths {
+        println!("  {:>8}: {w} features", m.name());
+    }
+    assert_eq!(widths[2].1, 1, "latency uses image size only");
+    save_json(
+        "table1",
+        &json!({
+            "rows": rows_spec
+                .iter()
+                .map(|(m, a, x)| json!({"metric": m, "accel_dims": a, "mul_dims": x}))
+                .collect::<Vec<_>>(),
+            "feature_widths": widths
+                .iter()
+                .map(|(m, w)| json!({"metric": m.name(), "width": w}))
+                .collect::<Vec<_>>(),
+        }),
+    );
+}

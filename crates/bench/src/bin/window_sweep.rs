@@ -1,0 +1,81 @@
+//! Window-size DoF sweep (the paper's Section III notes the HLS designs
+//! support odd window sizes): quality vs hardware cost for 3×3, 5×5 and
+//! 7×7 Gaussian smoothing accelerators, with exact and approximate
+//! multipliers and both convolution modes.
+
+use clapped_accel::{characterize, AcceleratorSpec, CharacterizeConfig};
+use clapped_bench::{print_table, save_json};
+use clapped_core::Clapped;
+use clapped_dse::Configuration;
+use clapped_imgproc::ConvMode;
+use serde_json::json;
+
+fn main() {
+    let fw = Clapped::builder()
+        .image_size(64)
+        .noise_sigma(12.0)
+        .seed(33)
+        .build()
+        .expect("framework construction");
+    let exact = fw.catalog().index_of("mul8s_exact").expect("present");
+    let approx = fw.catalog().index_of("mul8s_tr4").expect("present");
+    let char_cfg = CharacterizeConfig::default();
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for window in [3usize, 5, 7] {
+        for (label, mul_idx) in [("exact", exact), ("tr4", approx)] {
+            for mode in [ConvMode::TwoD, ConvMode::Separable] {
+                let config = Configuration {
+                    window,
+                    mode,
+                    mul_indices: vec![mul_idx; window * window],
+                    ..Configuration::golden(window)
+                };
+                let quality = fw.evaluate_error(&config).expect("evaluation");
+                let spec = AcceleratorSpec {
+                    mode,
+                    muls: config
+                        .active_mul_indices()
+                        .iter()
+                        .map(|&i| fw.catalog().at(i).expect("valid"))
+                        .collect(),
+                    ..AcceleratorSpec::uniform_2d(
+                        64,
+                        window,
+                        &fw.catalog().at(mul_idx).expect("valid"),
+                    )
+                };
+                let hw = characterize(&spec, &char_cfg).expect("synthesis");
+                rows.push(vec![
+                    format!("{window}x{window}"),
+                    label.to_string(),
+                    format!("{mode:?}"),
+                    format!("{:.2}", quality.psnr_db),
+                    format!("{:.2}", quality.error_percent),
+                    format!("{}", hw.luts),
+                    format!("{:.2}", hw.energy_per_image_uj),
+                ]);
+                json_rows.push(json!({
+                    "window": window, "multiplier": label, "mode": format!("{mode:?}"),
+                    "psnr_db": quality.psnr_db, "error_pct": quality.error_percent,
+                    "luts": hw.luts, "energy_uj": hw.energy_per_image_uj,
+                }));
+                println!(
+                    "{window}x{window} {label:>5} {mode:?}: PSNR {:.2} dB, {} LUTs, {:.2} uJ",
+                    quality.psnr_db, hw.luts, hw.energy_per_image_uj
+                );
+            }
+        }
+    }
+    print_table(
+        "Window-size DoF sweep (64x64 images)",
+        &["window", "mult", "mode", "PSNR dB", "err% vs 3x3 golden", "LUTs", "energy uJ"],
+        &rows,
+    );
+    println!("\nExpected shape: LUTs grow ~quadratically with the window in 2D");
+    println!("mode and ~linearly in separable mode; larger windows smooth more");
+    println!("(diverging from the 3x3 golden), making separable mode the cheap");
+    println!("path to wide windows — the trade-off the window DoF exposes.");
+    save_json("window_sweep", &json!({ "rows": json_rows }));
+}

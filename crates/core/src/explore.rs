@@ -1,0 +1,343 @@
+//! End-to-end cross-layer DSE: MBO over application error and LUT
+//! utilization (paper Section V-D).
+
+use crate::{Clapped, ClappedError, MulRepr, Result};
+use clapped_dse::{mbo, Configuration, MboConfig, SearchResult};
+use clapped_mlp::{Regressor, TrainConfig};
+use rand::SeedableRng;
+
+/// Which estimation path feeds an objective during DSE — the paper's
+/// true-vs-ML dichotomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EstimationMode {
+    /// Execute the behavioural model / synthesize the datapath.
+    True,
+    /// Predict with a trained MLP.
+    Ml,
+}
+
+/// Options of one exploration run.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Estimation mode for the application-error objective.
+    pub error_mode: EstimationMode,
+    /// Estimation mode for the LUT objective.
+    pub hw_mode: EstimationMode,
+    /// Multiplier representation for ML features.
+    pub repr: MulRepr,
+    /// Training samples for ML-mode objectives.
+    pub training_samples: usize,
+    /// MBO loop parameters.
+    pub mbo: MboConfig,
+    /// Re-evaluate the Pareto points with the true estimators afterwards
+    /// (the paper's `ACTUAL_EVAL` of Fig. 12b).
+    pub actual_eval: bool,
+    /// Section IV's refinement step: mutate each Pareto point this many
+    /// times, evaluate the neighbours with the **true** estimators and
+    /// merge improvements into the front (0 disables).
+    pub refine_neighbors: usize,
+    /// MLP training parameters.
+    pub train: TrainConfig,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            error_mode: EstimationMode::Ml,
+            hw_mode: EstimationMode::Ml,
+            repr: MulRepr::Coeffs(4),
+            training_samples: 150,
+            mbo: MboConfig {
+                initial_samples: 20,
+                iterations: 8,
+                batch: 10,
+                candidates: 50,
+                reference: vec![30.0, 4000.0],
+                kappa: 1.0,
+                explore_fraction: 0.1,
+                seed: 0,
+            },
+            actual_eval: true,
+            refine_neighbors: 0,
+            train: TrainConfig {
+                epochs: 150,
+                ..TrainConfig::default()
+            },
+        }
+    }
+}
+
+/// One Pareto design point of an exploration run.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// The configuration.
+    pub config: Configuration,
+    /// Objectives as seen by the search (`[error %, LUTs]`).
+    pub searched: [f64; 2],
+    /// True objectives, when `actual_eval` was requested.
+    pub actual: Option<[f64; 2]>,
+}
+
+/// The outcome of [`explore`].
+#[derive(Debug, Clone)]
+pub struct ExploreResult {
+    /// Full search trace.
+    pub search: SearchResult<Configuration>,
+    /// Pareto points (with actual re-evaluation when requested).
+    pub pareto: Vec<ParetoPoint>,
+}
+
+impl ExploreResult {
+    /// DoF diversity summary over the Pareto set: how many points use a
+    /// single multiplier type, stride 2, downsampling, and each scale —
+    /// the paper's Fig. 12b analysis.
+    pub fn dof_summary(&self) -> DofSummary {
+        let mut s = DofSummary::default();
+        for p in &self.pareto {
+            let c = &p.config;
+            let first = c.active_mul_indices()[0];
+            if c.active_mul_indices().iter().all(|&i| i == first) {
+                s.uniform_multiplier += 1;
+            }
+            if c.stride > 1 {
+                s.strided += 1;
+            }
+            if c.downsample {
+                s.downsampled += 1;
+            }
+            match c.scale {
+                1 => s.scale1 += 1,
+                2 => s.scale2 += 1,
+                _ => s.scale3plus += 1,
+            }
+        }
+        s.total = self.pareto.len();
+        s
+    }
+}
+
+/// Pareto-set DoF diversity counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DofSummary {
+    /// Number of Pareto points.
+    pub total: usize,
+    /// Points whose taps all use one multiplier type.
+    pub uniform_multiplier: usize,
+    /// Points with stride > 1.
+    pub strided: usize,
+    /// Points with downsampling enabled.
+    pub downsampled: usize,
+    /// Points with scale 1.
+    pub scale1: usize,
+    /// Points with scale 2.
+    pub scale2: usize,
+    /// Points with scale 3 or more.
+    pub scale3plus: usize,
+}
+
+/// Runs the full CLAppED exploration: builds the requested objective
+/// functions (true or ML-predicted), runs MBO and extracts the Pareto
+/// front.
+///
+/// # Errors
+///
+/// Propagates evaluation, training and search errors.
+pub fn explore(fw: &Clapped, opts: &ExploreOptions) -> Result<ExploreResult> {
+    // Train ML models if any objective runs in ML mode.
+    let need_ml = opts.error_mode == EstimationMode::Ml || opts.hw_mode == EstimationMode::Ml;
+    let mut err_model: Option<Regressor> = None;
+    let mut lut_model: Option<Regressor> = None;
+    if need_ml {
+        let (configs, xs, ys) =
+            fw.make_error_dataset(opts.training_samples, opts.repr, fw.seed() ^ 0x7777)?;
+        if opts.error_mode == EstimationMode::Ml {
+            err_model = Some(fw.train_error_model(&xs, &ys, &opts.train)?);
+        }
+        if opts.hw_mode == EstimationMode::Ml {
+            // LUT labels from true synthesis of the training configs,
+            // with hardware (Table-I style) features.
+            let mut lut_ys = Vec::with_capacity(configs.len());
+            let mut hw_xs = Vec::with_capacity(configs.len());
+            for c in &configs {
+                lut_ys.push(fw.characterize_hw(c)?.luts as f64);
+                hw_xs.push(fw.encode_hw(c)?);
+            }
+            lut_model = Some(Regressor::fit(&hw_xs, &lut_ys, &[32, 16], &opts.train)?);
+        }
+    }
+
+    let objective = |c: &Configuration| -> Vec<f64> {
+        let err = match (&opts.error_mode, &err_model) {
+            (EstimationMode::Ml, Some(m)) => m.predict(&fw.encode(c, opts.repr)),
+            _ => fw
+                .evaluate_error(c)
+                .map(|r| r.error_percent)
+                .unwrap_or(f64::MAX / 4.0),
+        };
+        let luts = match (&opts.hw_mode, &lut_model) {
+            (EstimationMode::Ml, Some(m)) => match fw.encode_hw(c) {
+                Ok(x) => m.predict(&x),
+                Err(_) => f64::MAX / 4.0,
+            },
+            _ => fw
+                .characterize_hw(c)
+                .map(|r| r.luts as f64)
+                .unwrap_or(f64::MAX / 4.0),
+        };
+        vec![err.max(0.0), luts.max(0.0)]
+    };
+
+    let space = fw.space().clone();
+    // Surrogate features: behavioural representation plus, when the
+    // operator library is characterized, the hardware (Table-I) features
+    // — the LUT objective is nearly linear in the latter.
+    let hw_ready = fw.op_library().is_ok();
+    let surrogate_features = |c: &Configuration| -> Vec<f64> {
+        let mut v = fw.encode(c, opts.repr);
+        if hw_ready {
+            if let Ok(h) = fw.encode_hw(c) {
+                v.extend(h);
+            }
+        }
+        v
+    };
+    let search = mbo(
+        &opts.mbo,
+        move |rng| space.sample(rng),
+        surrogate_features,
+        objective,
+    )
+    .map_err(ClappedError::Dse)?;
+
+    let mut pareto = Vec::new();
+    for idx in search.pareto_indices() {
+        let (config, obj) = &search.evaluated[idx];
+        let actual = if opts.actual_eval {
+            let err = fw.evaluate_error(config)?.error_percent;
+            let luts = fw.characterize_hw(config)?.luts as f64;
+            Some([err, luts])
+        } else {
+            None
+        };
+        pareto.push(ParetoPoint {
+            config: config.clone(),
+            searched: [obj[0], obj[1]],
+            actual,
+        });
+    }
+
+    // Section IV refinement: local neighbourhood search around the front
+    // with true evaluations.
+    if opts.refine_neighbors > 0 {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(opts.mbo.seed ^ 0x5EED);
+        let space = fw.space().clone();
+        let mut candidates: Vec<ParetoPoint> = pareto.clone();
+        for p in &pareto {
+            for _ in 0..opts.refine_neighbors {
+                let mut neighbour = p.config.clone();
+                space.mutate(&mut neighbour, &mut rng);
+                let err = fw.evaluate_error(&neighbour)?.error_percent;
+                let luts = fw.characterize_hw(&neighbour)?.luts as f64;
+                candidates.push(ParetoPoint {
+                    config: neighbour,
+                    searched: [err, luts],
+                    actual: Some([err, luts]),
+                });
+            }
+        }
+        // Non-dominated filter over true objectives where available.
+        let objs: Vec<Vec<f64>> = candidates
+            .iter()
+            .map(|p| p.actual.unwrap_or(p.searched).to_vec())
+            .collect();
+        let front = clapped_dse::pareto_front(&objs);
+        pareto = front.into_iter().map(|i| candidates[i].clone()).collect();
+    }
+    Ok(ExploreResult { search, pareto })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Clapped;
+
+    #[test]
+    fn neighborhood_refinement_never_worsens_the_true_front() {
+        let fw = Clapped::builder().image_size(16).build().unwrap();
+        let base_opts = ExploreOptions {
+            error_mode: EstimationMode::True,
+            hw_mode: EstimationMode::True,
+            training_samples: 0,
+            mbo: clapped_dse::MboConfig {
+                initial_samples: 6,
+                iterations: 1,
+                batch: 3,
+                candidates: 8,
+                reference: vec![40.0, 5000.0],
+                kappa: 1.0,
+                explore_fraction: 0.1,
+                seed: 4,
+            },
+            actual_eval: true,
+            refine_neighbors: 0,
+            ..ExploreOptions::default()
+        };
+        let plain = explore(&fw, &base_opts).unwrap();
+        let refined = explore(
+            &fw,
+            &ExploreOptions {
+                refine_neighbors: 2,
+                ..base_opts
+            },
+        )
+        .unwrap();
+        let hv = |points: &[ParetoPoint]| {
+            let objs: Vec<Vec<f64>> = points
+                .iter()
+                .map(|p| p.actual.expect("actual eval on").to_vec())
+                .collect();
+            clapped_dse::hypervolume(&objs, &[40.0, 5000.0])
+        };
+        assert!(hv(&refined.pareto) >= hv(&plain.pareto) - 1e-9);
+        // Refined front members are mutually non-dominated.
+        for a in &refined.pareto {
+            for b in &refined.pareto {
+                let (oa, ob) = (a.actual.unwrap(), b.actual.unwrap());
+                assert!(!clapped_dse::dominates(&oa, &ob) || oa == ob);
+            }
+        }
+    }
+
+    #[test]
+    fn true_mode_exploration_finds_pareto_points() {
+        let fw = Clapped::builder().image_size(16).build().unwrap();
+        let opts = ExploreOptions {
+            error_mode: EstimationMode::True,
+            hw_mode: EstimationMode::True,
+            training_samples: 0,
+            mbo: clapped_dse::MboConfig {
+                initial_samples: 6,
+                iterations: 2,
+                batch: 3,
+                candidates: 10,
+                reference: vec![40.0, 5000.0],
+                kappa: 1.0,
+                explore_fraction: 0.1,
+                seed: 2,
+            },
+            actual_eval: false,
+            ..ExploreOptions::default()
+        };
+        let result = explore(&fw, &opts).unwrap();
+        assert_eq!(result.search.evaluated.len(), 6 + 2 * 3);
+        assert!(!result.pareto.is_empty());
+        // Pareto points must be mutually non-dominated.
+        for a in &result.pareto {
+            for b in &result.pareto {
+                assert!(!clapped_dse::dominates(&a.searched, &b.searched));
+            }
+        }
+        let s = result.dof_summary();
+        assert_eq!(s.total, result.pareto.len());
+    }
+}

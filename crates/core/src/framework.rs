@@ -1,0 +1,551 @@
+//! The [`Clapped`] framework object and its builder.
+
+use crate::{ClappedError, MulRepr, Result};
+use clapped_accel::{characterize, AccelReport, AcceleratorSpec, CharacterizeConfig, OpLibrary};
+use clapped_axops::{Catalog, Mul8s};
+use clapped_dse::{Configuration, DesignSpace};
+use clapped_errmodel::{rank_terms, ErrorStats, PrModel};
+use clapped_imgproc::{AppResult, ConvMode, GaussianDenoise, SobelEdge};
+use clapped_mlp::{Regressor, TrainConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::{Arc, OnceLock};
+
+/// A labelled behavioural dataset: configurations, their encoded feature
+/// rows, and the true application-level error labels.
+pub type ErrorDataset = (Vec<Configuration>, Vec<Vec<f64>>, Vec<f64>);
+
+/// Which behavioural application the framework instance drives — the
+/// paper's Section II-B interface point for application-agnostic DSE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AppKind {
+    /// Gaussian image smoothing for noise removal (the paper's test case).
+    #[default]
+    GaussianDenoise,
+    /// Sobel edge detection (2D mode only).
+    SobelEdge,
+}
+
+/// The instantiated application model.
+#[derive(Debug)]
+enum AppModel {
+    Gaussian(GaussianDenoise),
+    Sobel(SobelEdge),
+}
+
+impl AppModel {
+    fn evaluate(
+        &self,
+        config: &clapped_imgproc::ConvConfig,
+        muls: &[Arc<dyn Mul8s>],
+    ) -> clapped_imgproc::Result<AppResult> {
+        match self {
+            AppModel::Gaussian(app) => app.evaluate(config, muls),
+            // The Sobel gradients share one tap assignment across Gx/Gy.
+            AppModel::Sobel(app) => app.evaluate(config, muls, muls),
+        }
+    }
+}
+
+/// Builder for [`Clapped`].
+///
+/// # Examples
+///
+/// ```
+/// use clapped_core::Clapped;
+///
+/// let fw = Clapped::builder()
+///     .image_size(32)
+///     .noise_sigma(12.0)
+///     .pr_degree(3)
+///     .seed(7)
+///     .build()
+///     .unwrap();
+/// assert_eq!(fw.catalog().len(), fw.space().catalog_size);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClappedBuilder {
+    image_size: usize,
+    noise_sigma: f64,
+    pr_degree: usize,
+    seed: u64,
+    catalog: Option<Catalog>,
+    char_config: CharacterizeConfig,
+    app_kind: AppKind,
+}
+
+impl Default for ClappedBuilder {
+    fn default() -> Self {
+        ClappedBuilder {
+            image_size: 32,
+            noise_sigma: 12.0,
+            pr_degree: 3,
+            seed: 1,
+            catalog: None,
+            char_config: CharacterizeConfig::default(),
+            app_kind: AppKind::GaussianDenoise,
+        }
+    }
+}
+
+impl ClappedBuilder {
+    /// Side length of the synthetic workload images.
+    pub fn image_size(mut self, n: usize) -> Self {
+        self.image_size = n;
+        self
+    }
+
+    /// Standard deviation of the injected Gaussian noise.
+    pub fn noise_sigma(mut self, sigma: f64) -> Self {
+        self.noise_sigma = sigma;
+        self
+    }
+
+    /// Degree of the operator PR models (the paper uses 3).
+    pub fn pr_degree(mut self, degree: usize) -> Self {
+        self.pr_degree = degree;
+        self
+    }
+
+    /// Master RNG seed (workload generation, dataset sampling).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the standard operator catalog. Operator 0 must be the
+    /// exact multiplier.
+    pub fn catalog(mut self, catalog: Catalog) -> Self {
+        self.catalog = Some(catalog);
+        self
+    }
+
+    /// Accelerator characterization parameters.
+    pub fn characterization(mut self, config: CharacterizeConfig) -> Self {
+        self.char_config = config;
+        self
+    }
+
+    /// Selects the behavioural application (default: Gaussian smoothing).
+    pub fn application(mut self, kind: AppKind) -> Self {
+        self.app_kind = kind;
+        self
+    }
+
+    /// Builds the framework: instantiates the catalog, the workload, and
+    /// the per-operator PR models and error statistics. (The hardware
+    /// operator library is characterized lazily on first use.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClappedError::Unavailable`] if the catalog is empty or
+    /// its first operator is not exact.
+    pub fn build(self) -> Result<Clapped> {
+        let catalog = self.catalog.unwrap_or_else(Catalog::standard);
+        if catalog.is_empty() {
+            return Err(ClappedError::Unavailable {
+                reason: "operator catalog is empty".to_string(),
+            });
+        }
+        let first = catalog.at(0).expect("non-empty catalog");
+        if (0..32).any(|i| {
+            let a = (i * 7 - 13) as i8;
+            let b = (i * 3 + 5) as i8;
+            first.mul(a, b) != i16::from(a) * i16::from(b)
+        }) {
+            return Err(ClappedError::Unavailable {
+                reason: "catalog operator 0 must be the exact multiplier".to_string(),
+            });
+        }
+        let exact: Arc<dyn Mul8s> = first.clone();
+        let app = match self.app_kind {
+            AppKind::GaussianDenoise => AppModel::Gaussian(GaussianDenoise::standard(
+                self.image_size,
+                self.noise_sigma,
+                exact,
+                self.seed,
+            )),
+            AppKind::SobelEdge => {
+                AppModel::Sobel(SobelEdge::standard(self.image_size, exact, self.seed))
+            }
+        };
+        let pr_models: Vec<PrModel> = catalog
+            .iter()
+            .map(|m| PrModel::fit(m.as_ref(), self.pr_degree))
+            .collect();
+        let refs: Vec<&PrModel> = pr_models.iter().collect();
+        let ranking = rank_terms(&refs);
+        let stats: Vec<ErrorStats> = catalog
+            .iter()
+            .map(|m| ErrorStats::of_multiplier(m.as_ref()))
+            .collect();
+        // Paper-style index representation: a unique pseudo-random value
+        // per operator.
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xA5A5_5A5A);
+        let index_values: Vec<f64> = (0..catalog.len()).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let mut space = DesignSpace::paper_default(catalog.len());
+        if self.app_kind == AppKind::SobelEdge {
+            // Gradient magnitudes are not separable: restrict the mode DoF.
+            space.modes = vec![ConvMode::TwoD];
+        }
+        Ok(Clapped {
+            app_kind: self.app_kind,
+            catalog,
+            app,
+            space,
+            pr_models,
+            ranking,
+            stats,
+            index_values,
+            char_config: self.char_config,
+            image_size: self.image_size,
+            seed: self.seed,
+            op_library: OnceLock::new(),
+        })
+    }
+}
+
+/// The CLAppED framework instance: catalog, application workload,
+/// operator models and estimation services.
+#[derive(Debug)]
+pub struct Clapped {
+    app_kind: AppKind,
+    catalog: Catalog,
+    app: AppModel,
+    space: DesignSpace,
+    pr_models: Vec<PrModel>,
+    ranking: Vec<usize>,
+    stats: Vec<ErrorStats>,
+    index_values: Vec<f64>,
+    char_config: CharacterizeConfig,
+    image_size: usize,
+    seed: u64,
+    op_library: OnceLock<std::result::Result<OpLibrary, String>>,
+}
+
+impl Clapped {
+    /// Starts building a framework instance.
+    pub fn builder() -> ClappedBuilder {
+        ClappedBuilder::default()
+    }
+
+    /// The operator catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The cross-layer design space.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// The selected application kind.
+    pub fn app_kind(&self) -> AppKind {
+        self.app_kind
+    }
+
+    /// The Gaussian-smoothing workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the framework was built with a different application;
+    /// check [`Clapped::app_kind`] first.
+    pub fn app(&self) -> &GaussianDenoise {
+        match &self.app {
+            AppModel::Gaussian(app) => app,
+            AppModel::Sobel(_) => panic!(
+                "framework was built with AppKind::SobelEdge; use sobel_app()"
+            ),
+        }
+    }
+
+    /// The Sobel workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the framework was built with a different application.
+    pub fn sobel_app(&self) -> &SobelEdge {
+        match &self.app {
+            AppModel::Sobel(app) => app,
+            AppModel::Gaussian(_) => panic!(
+                "framework was built with AppKind::GaussianDenoise; use app()"
+            ),
+        }
+    }
+
+    /// Per-operator degree-`d` PR models (catalog order).
+    pub fn pr_models(&self) -> &[PrModel] {
+        &self.pr_models
+    }
+
+    /// Global PR-term significance ranking.
+    pub fn term_ranking(&self) -> &[usize] {
+        &self.ranking
+    }
+
+    /// Per-operator statistical error metrics (catalog order).
+    pub fn operator_stats(&self) -> &[ErrorStats] {
+        &self.stats
+    }
+
+    /// Accelerator characterization parameters.
+    pub fn characterization(&self) -> &CharacterizeConfig {
+        &self.char_config
+    }
+
+    /// Workload image side length.
+    pub fn image_size(&self) -> usize {
+        self.image_size
+    }
+
+    /// Master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The hardware operator library (per-operator synthesis reports),
+    /// characterized on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClappedError::Accel`] if an operator fails synthesis.
+    pub fn op_library(&self) -> Result<&OpLibrary> {
+        let entry = self.op_library.get_or_init(|| {
+            OpLibrary::characterize(&self.catalog, &self.char_config.synth)
+                .map_err(|e| e.to_string())
+        });
+        entry.as_ref().map_err(|msg| {
+            ClappedError::Accel(clapped_accel::AccelError::Synth(msg.clone()))
+        })
+    }
+
+    /// Resolves a configuration's tap multipliers from the catalog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration indexes outside the catalog (it came
+    /// from a different design space).
+    pub fn taps_for(&self, config: &Configuration) -> Vec<Arc<dyn Mul8s>> {
+        config
+            .active_mul_indices()
+            .iter()
+            .map(|&i| {
+                self.catalog
+                    .at(i)
+                    .expect("configuration indices stay inside the catalog") as Arc<dyn Mul8s>
+            })
+            .collect()
+    }
+
+    /// **True behavioral estimation**: executes the application model
+    /// under this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the convolution engine.
+    pub fn evaluate_error(&self, config: &Configuration) -> Result<AppResult> {
+        let taps = self.taps_for(config);
+        Ok(self.app.evaluate(&config.conv_config(), &taps)?)
+    }
+
+    /// The accelerator design point implied by a configuration: the
+    /// effective streamed image shrinks with DATA scaling.
+    pub fn accel_spec(&self, config: &Configuration) -> AcceleratorSpec {
+        AcceleratorSpec {
+            image_size: (self.image_size / config.scale).max(config.window),
+            window: config.window,
+            stride: config.stride,
+            downsample: config.downsample,
+            mode: config.mode,
+            muls: config
+                .active_mul_indices()
+                .iter()
+                .map(|&i| self.catalog.at(i).expect("valid index"))
+                .collect(),
+        }
+    }
+
+    /// **True hardware estimation**: synthesizes the configuration's
+    /// accelerator datapath.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis failures.
+    pub fn characterize_hw(&self, config: &Configuration) -> Result<AccelReport> {
+        Ok(characterize(&self.accel_spec(config), &self.char_config)?)
+    }
+
+    /// Encodes a configuration into a behavioral-model feature vector:
+    /// the scalar DoFs followed by one representation block per tap
+    /// (always `window²` taps, so feature dimensions are mode-stable).
+    pub fn encode(&self, config: &Configuration, repr: MulRepr) -> Vec<f64> {
+        let mut v = config.dof_features();
+        for &idx in &config.mul_indices {
+            match repr {
+                MulRepr::Index => v.push(self.index_values[idx]),
+                MulRepr::M1 => v.extend(self.stats[idx].m1()),
+                MulRepr::M4 => v.extend(self.stats[idx].m4()),
+                MulRepr::Coeffs(k) => {
+                    v.extend(self.pr_models[idx].feature_vector(&self.ranking, k))
+                }
+            }
+        }
+        v
+    }
+
+    /// Encodes a configuration into a hardware-model feature vector:
+    /// the scalar DoFs followed by each tap operator's LUT count and
+    /// total power (the Table-I style expanded representation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates operator-library characterization failures.
+    pub fn encode_hw(&self, config: &Configuration) -> Result<Vec<f64>> {
+        let lib = self.op_library()?;
+        let mut v = config.dof_features();
+        for &idx in &config.mul_indices {
+            let op = self.catalog.at(idx).expect("valid index");
+            let name = Mul8s::name(op.as_ref());
+            let p = lib.props(name).ok_or_else(|| {
+                ClappedError::Accel(clapped_accel::AccelError::Synth(format!(
+                    "operator {name} missing from the library"
+                )))
+            })?;
+            v.push(p.luts);
+            v.push(p.total_power_mw);
+        }
+        Ok(v)
+    }
+
+    /// Generates a labelled behavioral dataset: `count` random
+    /// configurations with their true application-level error (%).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn make_error_dataset(
+        &self,
+        count: usize,
+        repr: MulRepr,
+        seed: u64,
+    ) -> Result<ErrorDataset> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut configs = Vec::with_capacity(count);
+        let mut xs = Vec::with_capacity(count);
+        let mut ys = Vec::with_capacity(count);
+        for _ in 0..count {
+            let c = self.space.sample(&mut rng);
+            let r = self.evaluate_error(&c)?;
+            xs.push(self.encode(&c, repr));
+            ys.push(r.error_percent);
+            configs.push(c);
+        }
+        Ok((configs, xs, ys))
+    }
+
+    /// Trains the behavioral quality-prediction MLP on a dataset
+    /// produced by [`Clapped::make_error_dataset`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn train_error_model(
+        &self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        config: &TrainConfig,
+    ) -> Result<Regressor> {
+        Ok(Regressor::fit(xs, ys, &[32, 16], config)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clapped_dse::Configuration;
+
+    fn small() -> Clapped {
+        Clapped::builder().image_size(16).build().unwrap()
+    }
+
+    #[test]
+    fn builder_validates_catalog() {
+        // A catalog whose operator 0 is approximate must be rejected.
+        let bad = Catalog::from_specs(vec![(
+            "approx_first".to_string(),
+            clapped_axops::MulArch::Truncated { k: 5 },
+        )]);
+        let err = Clapped::builder().catalog(bad).build();
+        assert!(matches!(err, Err(ClappedError::Unavailable { .. })));
+    }
+
+    #[test]
+    fn golden_config_evaluates_to_zero_error() {
+        let fw = small();
+        let r = fw.evaluate_error(&Configuration::golden(3)).unwrap();
+        assert_eq!(r.error_percent, 0.0);
+    }
+
+    #[test]
+    fn encode_widths_are_consistent() {
+        let fw = small();
+        let c = Configuration::golden(3);
+        assert_eq!(fw.encode(&c, MulRepr::Index).len(), 4 + 9);
+        assert_eq!(fw.encode(&c, MulRepr::M1).len(), 4 + 9);
+        assert_eq!(fw.encode(&c, MulRepr::M4).len(), 4 + 36);
+        assert_eq!(fw.encode(&c, MulRepr::Coeffs(4)).len(), 4 + 36);
+    }
+
+    #[test]
+    fn accel_spec_respects_scaling() {
+        let fw = small();
+        let mut c = Configuration::golden(3);
+        c.scale = 2;
+        let spec = fw.accel_spec(&c);
+        assert_eq!(spec.image_size, 8);
+        assert_eq!(spec.muls.len(), 9);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn sobel_application_plugs_in() {
+        let fw = Clapped::builder()
+            .image_size(16)
+            .application(crate::AppKind::SobelEdge)
+            .build()
+            .unwrap();
+        assert_eq!(fw.app_kind(), crate::AppKind::SobelEdge);
+        // The mode DoF is restricted to 2D for gradient applications.
+        assert_eq!(fw.space().modes, vec![clapped_imgproc::ConvMode::TwoD]);
+        let golden = Configuration::golden(3);
+        assert_eq!(fw.evaluate_error(&golden).unwrap().error_percent, 0.0);
+        // Random configurations evaluate without error over the space.
+        let (_, xs, ys) = fw.make_error_dataset(6, MulRepr::Coeffs(3), 2).unwrap();
+        assert_eq!(xs.len(), 6);
+        assert!(ys.iter().any(|&e| e > 0.0));
+        assert_eq!(fw.sobel_app().image_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "use sobel_app()")]
+    fn wrong_app_accessor_panics() {
+        let fw = Clapped::builder()
+            .image_size(16)
+            .application(crate::AppKind::SobelEdge)
+            .build()
+            .unwrap();
+        let _ = fw.app();
+    }
+
+    #[test]
+    fn dataset_generation_is_deterministic() {
+        let fw = small();
+        let (c1, x1, y1) = fw.make_error_dataset(8, MulRepr::Coeffs(3), 5).unwrap();
+        let (c2, x2, y2) = fw.make_error_dataset(8, MulRepr::Coeffs(3), 5).unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(x1, x2);
+        assert_eq!(y1, y2);
+        assert_eq!(x1.len(), 8);
+        assert!(y1.iter().any(|&e| e > 0.0), "random configs should err");
+    }
+}

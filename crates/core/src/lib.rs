@@ -1,0 +1,105 @@
+//! The CLAppED framework: cross-layer approximation-aware design-space
+//! exploration for FPGA-based embedded systems.
+//!
+//! This crate wires the three stages of the paper's Fig. 2 together:
+//!
+//! 1. **Behavioral error analysis** — operator characterization
+//!    (`clapped-errmodel`), the executable application model
+//!    (`clapped-imgproc`) and MLP-based quality prediction
+//!    (`clapped-mlp`) with selectable multiplier representations
+//!    ([`MulRepr`]: Index / M1 / M4 / PR-coefficient `C_k`).
+//! 2. **Accelerator performance estimation** — true synthesis-based
+//!    characterization and ML-based prediction (`clapped-accel`).
+//! 3. **DSE** — multi-objective Bayesian optimization over
+//!    application-level error and hardware cost (`clapped-dse`).
+//!
+//! # Examples
+//!
+//! ```
+//! use clapped_core::Clapped;
+//!
+//! let framework = Clapped::builder().image_size(32).build().unwrap();
+//! let golden = clapped_dse::Configuration::golden(3);
+//! let result = framework.evaluate_error(&golden).unwrap();
+//! assert_eq!(result.error_percent, 0.0);
+//! ```
+
+mod explore;
+mod framework;
+mod repr;
+
+pub use explore::{explore, DofSummary, EstimationMode, ExploreOptions, ExploreResult, ParetoPoint};
+pub use framework::{AppKind, Clapped, ClappedBuilder, ErrorDataset};
+pub use repr::MulRepr;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for framework operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClappedError {
+    /// A configuration failed application-level evaluation.
+    App(clapped_imgproc::ConvError),
+    /// Accelerator characterization failed.
+    Accel(clapped_accel::AccelError),
+    /// Operator model fitting failed.
+    Fit(clapped_errmodel::FitError),
+    /// ML training failed.
+    Mlp(clapped_mlp::MlpError),
+    /// DSE failed.
+    Dse(clapped_dse::DseError),
+    /// The framework was built without the pieces this call needs.
+    Unavailable {
+        /// What is missing and how to enable it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ClappedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClappedError::App(e) => write!(f, "application evaluation: {e}"),
+            ClappedError::Accel(e) => write!(f, "accelerator estimation: {e}"),
+            ClappedError::Fit(e) => write!(f, "operator model fit: {e}"),
+            ClappedError::Mlp(e) => write!(f, "ML training: {e}"),
+            ClappedError::Dse(e) => write!(f, "design-space exploration: {e}"),
+            ClappedError::Unavailable { reason } => write!(f, "unavailable: {reason}"),
+        }
+    }
+}
+
+impl Error for ClappedError {}
+
+impl From<clapped_imgproc::ConvError> for ClappedError {
+    fn from(e: clapped_imgproc::ConvError) -> Self {
+        ClappedError::App(e)
+    }
+}
+
+impl From<clapped_accel::AccelError> for ClappedError {
+    fn from(e: clapped_accel::AccelError) -> Self {
+        ClappedError::Accel(e)
+    }
+}
+
+impl From<clapped_errmodel::FitError> for ClappedError {
+    fn from(e: clapped_errmodel::FitError) -> Self {
+        ClappedError::Fit(e)
+    }
+}
+
+impl From<clapped_mlp::MlpError> for ClappedError {
+    fn from(e: clapped_mlp::MlpError) -> Self {
+        ClappedError::Mlp(e)
+    }
+}
+
+impl From<clapped_dse::DseError> for ClappedError {
+    fn from(e: clapped_dse::DseError) -> Self {
+        ClappedError::Dse(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, ClappedError>;

@@ -1,0 +1,80 @@
+//! Multiplier representations for ML feature encoding (paper Figs. 8–10).
+
+/// How a multiplier is represented inside an ML feature vector.
+///
+/// The paper compares four families:
+///
+/// - [`MulRepr::Index`] — an arbitrary unique value per operator (the
+///   strawman that prevents generalization),
+/// - [`MulRepr::M1`] — a single statistical error metric (MSE, after
+///   the WMED-style identification of AutoAx),
+/// - [`MulRepr::M4`] — four statistical error metrics (max absolute
+///   error, average relative error, error probability, MSE),
+/// - [`MulRepr::Coeffs(k)`](MulRepr::Coeffs) — the `k` most significant
+///   polynomial-regression coefficients (the paper's `C_k`, its core
+///   contribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulRepr {
+    /// Unique random identifier per operator.
+    Index,
+    /// One statistical metric (MSE).
+    M1,
+    /// Four statistical metrics.
+    M4,
+    /// `k` PR coefficients in global significance order.
+    Coeffs(usize),
+}
+
+impl MulRepr {
+    /// Feature width contributed by one multiplier.
+    pub fn width(&self) -> usize {
+        match *self {
+            MulRepr::Index => 1,
+            MulRepr::M1 => 1,
+            MulRepr::M4 => 4,
+            MulRepr::Coeffs(k) => k,
+        }
+    }
+
+    /// Display label matching the paper's figures (`Index`, `M1`, `M4`,
+    /// `C4`, …).
+    pub fn label(&self) -> String {
+        match *self {
+            MulRepr::Index => "Index".to_string(),
+            MulRepr::M1 => "M1".to_string(),
+            MulRepr::M4 => "M4".to_string(),
+            MulRepr::Coeffs(k) => format!("C{k}"),
+        }
+    }
+
+    /// The representation sweep of paper Figs. 8 and 9:
+    /// Index, M1, M4, C2..C10.
+    pub fn paper_sweep() -> Vec<MulRepr> {
+        let mut v = vec![MulRepr::Index, MulRepr::M1, MulRepr::M4];
+        v.extend((2..=10).map(MulRepr::Coeffs));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_labels() {
+        assert_eq!(MulRepr::Index.width(), 1);
+        assert_eq!(MulRepr::M1.width(), 1);
+        assert_eq!(MulRepr::M4.width(), 4);
+        assert_eq!(MulRepr::Coeffs(6).width(), 6);
+        assert_eq!(MulRepr::Coeffs(6).label(), "C6");
+        assert_eq!(MulRepr::M4.label(), "M4");
+    }
+
+    #[test]
+    fn paper_sweep_matches_figures() {
+        let sweep = MulRepr::paper_sweep();
+        assert_eq!(sweep.len(), 12);
+        assert_eq!(sweep[0], MulRepr::Index);
+        assert_eq!(sweep[11], MulRepr::Coeffs(10));
+    }
+}

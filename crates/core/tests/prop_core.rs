@@ -1,0 +1,66 @@
+//! Property tests for the framework layer: encodings are total,
+//! deterministic and dimension-stable over the whole design space.
+
+use clapped_core::{Clapped, MulRepr};
+use clapped_dse::DesignSpace;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn framework() -> &'static Clapped {
+    static FW: OnceLock<Clapped> = OnceLock::new();
+    FW.get_or_init(|| {
+        Clapped::builder()
+            .image_size(16)
+            .seed(3)
+            .build()
+            .expect("framework builds")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every sampled configuration encodes to the same dimension per
+    /// representation, with finite values.
+    #[test]
+    fn encodings_are_total_and_stable(seed: u64, repr_pick in 0usize..12) {
+        let fw = framework();
+        let repr = MulRepr::paper_sweep()[repr_pick];
+        let space: &DesignSpace = fw.space();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let c1 = space.sample(&mut rng);
+        let c2 = space.sample(&mut rng);
+        let e1 = fw.encode(&c1, repr);
+        let e2 = fw.encode(&c2, repr);
+        prop_assert_eq!(e1.len(), e2.len());
+        prop_assert_eq!(e1.len(), 4 + 9 * repr.width());
+        prop_assert!(e1.iter().all(|v| v.is_finite()));
+        // Encoding is deterministic.
+        prop_assert_eq!(fw.encode(&c1, repr), e1);
+    }
+
+    /// Behavioural evaluation is total over the design space and the
+    /// error metric is bounded.
+    #[test]
+    fn evaluation_is_total(seed: u64) {
+        let fw = framework();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let c = fw.space().sample(&mut rng);
+        let r = fw.evaluate_error(&c).expect("evaluates");
+        prop_assert!((0.0..=100.0).contains(&r.error_percent));
+        prop_assert!(r.psnr_db.is_finite() || r.psnr_db.is_infinite());
+    }
+
+    /// Accelerator specs derived from sampled configurations always
+    /// validate.
+    #[test]
+    fn accel_specs_validate(seed: u64) {
+        let fw = framework();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let c = fw.space().sample(&mut rng);
+        let spec = fw.accel_spec(&c);
+        prop_assert!(spec.validate().is_ok());
+        prop_assert!(spec.image_size >= spec.window);
+    }
+}

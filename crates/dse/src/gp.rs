@@ -1,0 +1,216 @@
+//! Gaussian-process regression: the probabilistic surrogate of the MBO
+//! loop.
+
+use crate::{DseError, Result};
+use clapped_la::{Cholesky, Mat, Standardizer};
+
+/// A Gaussian-process regressor with an RBF kernel.
+///
+/// Features and targets are standardized internally. The lengthscale and
+/// noise level are selected from a small grid by log marginal likelihood
+/// — adequate for the few-hundred-sample surrogates MBO maintains.
+///
+/// # Examples
+///
+/// ```
+/// use clapped_dse::Gp;
+///
+/// let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 4.0]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| (x[0]).sin()).collect();
+/// let gp = Gp::fit(&xs, &ys).unwrap();
+/// let (mean, var) = gp.predict(&[2.0]);
+/// assert!((mean - 2.0f64.sin()).abs() < 0.1);
+/// assert!(var >= 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gp {
+    x_std: Standardizer,
+    y_mean: f64,
+    y_scale: f64,
+    train_x: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Cholesky,
+    lengthscale: f64,
+    noise: f64,
+}
+
+impl Gp {
+    /// Fits the GP to a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Surrogate`] when the dataset is empty,
+    /// inconsistent, or the kernel matrix cannot be factored at any grid
+    /// point.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Result<Gp> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(DseError::Surrogate(format!(
+                "{} samples vs {} targets",
+                xs.len(),
+                ys.len()
+            )));
+        }
+        let dim = xs[0].len();
+        if dim == 0 || xs.iter().any(|r| r.len() != dim) {
+            return Err(DseError::Surrogate("inconsistent feature rows".to_string()));
+        }
+        let x_std = Standardizer::fit(xs);
+        let xt = x_std.transform(xs);
+        let y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let y_var =
+            ys.iter().map(|y| (y - y_mean) * (y - y_mean)).sum::<f64>() / ys.len() as f64;
+        let y_scale = if y_var > 0.0 { y_var.sqrt() } else { 1.0 };
+        let yt: Vec<f64> = ys.iter().map(|y| (y - y_mean) / y_scale).collect();
+
+        let mut best: Option<(f64, f64, f64, Cholesky, Vec<f64>)> = None;
+        // Scale the lengthscale grid with feature dimensionality: random
+        // standardized points sit at distance ~sqrt(2·dim), so fixed
+        // lengthscales degenerate to a diagonal kernel in high dimension.
+        let dim_scale = (dim as f64).sqrt();
+        for &ls in &[
+            0.5f64,
+            1.0,
+            2.0,
+            4.0,
+            0.5 * dim_scale,
+            1.0 * dim_scale,
+            2.0 * dim_scale,
+        ] {
+            for &noise in &[1e-4f64, 1e-2] {
+                let k = kernel_matrix(&xt, ls, noise);
+                let Ok(chol) = Cholesky::factor(&k) else {
+                    continue;
+                };
+                let Ok(alpha) = chol.solve(&yt) else {
+                    continue;
+                };
+                // log p(y) = -0.5 y'a - 0.5 log|K| - n/2 log(2pi)
+                let fit_term: f64 = yt.iter().zip(&alpha).map(|(y, a)| y * a).sum();
+                let lml = -0.5 * fit_term - 0.5 * chol.log_det();
+                if best.as_ref().is_none_or(|b| lml > b.0) {
+                    best = Some((lml, ls, noise, chol, alpha));
+                }
+            }
+        }
+        let (_, lengthscale, noise, chol, alpha) =
+            best.ok_or_else(|| DseError::Surrogate("kernel matrix not factorable".to_string()))?;
+        Ok(Gp {
+            x_std,
+            y_mean,
+            y_scale,
+            train_x: xt,
+            alpha,
+            chol,
+            lengthscale,
+            noise,
+        })
+    }
+
+    /// Predicts `(mean, variance)` at one point (in the original feature
+    /// space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimension.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let xq = self.x_std.transform_row(x);
+        let k_star: Vec<f64> = self
+            .train_x
+            .iter()
+            .map(|xi| rbf(xi, &xq, self.lengthscale))
+            .collect();
+        let mean_t: f64 = k_star.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
+        // var = k(x,x) + noise - k*' K^-1 k*
+        let v = self
+            .chol
+            .solve(&k_star)
+            .expect("factorization already validated");
+        let quad: f64 = k_star.iter().zip(&v).map(|(k, w)| k * w).sum();
+        let var_t = (1.0 + self.noise - quad).max(0.0);
+        (
+            mean_t * self.y_scale + self.y_mean,
+            var_t * self.y_scale * self.y_scale,
+        )
+    }
+
+    /// The selected kernel lengthscale (standardized units).
+    pub fn lengthscale(&self) -> f64 {
+        self.lengthscale
+    }
+}
+
+fn rbf(a: &[f64], b: &[f64], ls: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (-0.5 * d2 / (ls * ls)).exp()
+}
+
+fn kernel_matrix(xs: &[Vec<f64>], ls: f64, noise: f64) -> Mat {
+    let n = xs.len();
+    let mut k = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let v = rbf(&xs[i], &xs[j], ls);
+            k[(i, j)] = v;
+            k[(j, i)] = v;
+        }
+        k[(i, i)] += noise;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_training_points() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[0] / 10.0).collect();
+        let gp = Gp::fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let (m, _) = gp.predict(x);
+            assert!((m - y).abs() < 0.1, "at {x:?}: {m} vs {y}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let gp = Gp::fit(&xs, &ys).unwrap();
+        let (_, var_inside) = gp.predict(&[3.5]);
+        let (_, var_outside) = gp.predict(&[30.0]);
+        assert!(var_outside > var_inside);
+    }
+
+    #[test]
+    fn constant_targets_are_handled() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let ys = vec![2.0; 5];
+        let gp = Gp::fit(&xs, &ys).unwrap();
+        let (m, _) = gp.predict(&[2.0]);
+        assert!((m - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Gp::fit(&[], &[]).is_err());
+        assert!(Gp::fit(&[vec![1.0]], &[1.0, 2.0]).is_err());
+        assert!(Gp::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn multi_dimensional_regression() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                xs.push(vec![i as f64, j as f64]);
+                ys.push(i as f64 + 2.0 * j as f64);
+            }
+        }
+        let gp = Gp::fit(&xs, &ys).unwrap();
+        let (m, _) = gp.predict(&[2.5, 2.5]);
+        assert!((m - 7.5).abs() < 0.5, "{m}");
+    }
+}

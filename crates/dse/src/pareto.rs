@@ -1,0 +1,71 @@
+//! Pareto dominance and front extraction (minimization).
+
+/// True when `a` dominates `b`: no objective worse, at least one better.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective dimension mismatch");
+    let mut strictly = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Indices of the non-dominated points, in input order.
+///
+/// Duplicate points are all kept (none dominates the other).
+pub fn pareto_front(points: &[Vec<f64>]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, p)| j != i && dominates(p, &points[i]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]), "equal points do not dominate");
+    }
+
+    #[test]
+    fn front_extraction() {
+        let pts = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 3.0],
+            vec![3.0, 4.0], // dominated by (2,3)
+            vec![5.0, 1.0],
+            vec![6.0, 6.0], // dominated by everything useful
+        ];
+        assert_eq!(pareto_front(&pts), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let pts = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert_eq!(pareto_front(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn single_point_is_front() {
+        assert_eq!(pareto_front(&[vec![3.0, 3.0]]), vec![0]);
+        assert!(pareto_front(&[]).is_empty());
+    }
+}

@@ -1,0 +1,532 @@
+//! Polynomial-regression characterization of approximate operators —
+//! the paper's core contribution (Section II-A).
+//!
+//! Every operator is represented by the coefficients of a bivariate
+//! polynomial fitted to its full input/output behaviour. Coefficients can
+//! be ranked by significance across a whole operator library, *clipped*
+//! (zeroed without retraining, the paper's `Clipped_k`) or *retrained on a
+//! subset of terms* (the paper's `C_k`), and the resulting short vectors
+//! serve as ML features that let models generalize to unseen operators.
+
+use crate::{FitError, Result};
+use clapped_axops::{exhaustive_pairs, Mul8s};
+use clapped_la::{Cholesky, Mat};
+use std::fmt;
+
+/// Input normalization: operands are divided by this before entering the
+/// monomials, keeping high-degree features well conditioned.
+const SCALE: f64 = 128.0;
+
+/// Canonical monomial order for a given degree: `(i, j)` exponent pairs
+/// grouped by total degree, mirroring Eq. (1) of the paper
+/// (`c0 + c1·x + c2·y + c3·x² + c4·xy + c5·y² + …`).
+pub fn canonical_terms(degree: usize) -> Vec<(u8, u8)> {
+    let mut terms = Vec::new();
+    for d in 0..=degree {
+        for i in (0..=d).rev() {
+            let j = d - i;
+            terms.push((i as u8, j as u8));
+        }
+    }
+    terms
+}
+
+/// A polynomial-regression model of one operator.
+///
+/// # Examples
+///
+/// ```
+/// use clapped_axops::{AxMul, MulArch};
+/// use clapped_errmodel::PrModel;
+///
+/// let m = AxMul::new("m", MulArch::Exact);
+/// let pr = PrModel::fit(&m, 2);
+/// // For an exact multiplier the xy coefficient carries everything.
+/// assert!(pr.r2() > 0.999_999);
+/// assert!((pr.predict(10, 10) - 100.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrModel {
+    degree: usize,
+    terms: Vec<(u8, u8)>,
+    coeffs: Vec<f64>,
+    r2: f64,
+}
+
+impl PrModel {
+    /// Fits a degree-`degree` PR model to a multiplier over the full
+    /// 65 536-point input space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is 0 or greater than 6, or if the normal
+    /// equations are numerically singular (cannot happen for the canonical
+    /// monomial basis over the full grid).
+    pub fn fit(m: &dyn Mul8s, degree: usize) -> PrModel {
+        Self::fit_fn(|a, b| f64::from(m.mul(a, b)), degree)
+    }
+
+    /// Fits a degree-`degree` PR model to an arbitrary binary operator
+    /// given as a closure (used for adders and other operator families).
+    ///
+    /// # Panics
+    ///
+    /// See [`PrModel::fit`].
+    pub fn fit_fn(f: impl Fn(i8, i8) -> f64, degree: usize) -> PrModel {
+        let terms = canonical_terms(degree);
+        Self::fit_terms_impl(&f, degree, terms).expect("canonical basis is well conditioned")
+    }
+
+    /// Fits a PR model restricted to an explicit subset of monomials (the
+    /// paper's retrained `C_k` models).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError::Numeric`] if the restricted basis is singular
+    /// and [`FitError::TooFewSamples`] if `terms` is empty.
+    pub fn fit_terms(m: &dyn Mul8s, degree: usize, terms: Vec<(u8, u8)>) -> Result<PrModel> {
+        Self::fit_terms_impl(&|a, b| f64::from(m.mul(a, b)), degree, terms)
+    }
+
+    fn fit_terms_impl(
+        f: &dyn Fn(i8, i8) -> f64,
+        degree: usize,
+        terms: Vec<(u8, u8)>,
+    ) -> Result<PrModel> {
+        assert!((1..=6).contains(&degree), "degree must be in 1..=6");
+        if terms.is_empty() {
+            return Err(FitError::TooFewSamples { got: 0, need: 1 });
+        }
+        let t = terms.len();
+        let mut gram = Mat::zeros(t, t);
+        let mut rhs = vec![0.0f64; t];
+        let mut features = vec![0.0f64; t];
+        let mut y_sum = 0.0f64;
+        let mut y_sq = 0.0f64;
+        let mut n = 0.0f64;
+        for (a, b) in exhaustive_pairs() {
+            eval_features(&terms, a, b, &mut features);
+            let y = f(a, b);
+            for i in 0..t {
+                let fi = features[i];
+                if fi == 0.0 {
+                    continue;
+                }
+                for j in i..t {
+                    gram[(i, j)] += fi * features[j];
+                }
+                rhs[i] += fi * y;
+            }
+            y_sum += y;
+            y_sq += y * y;
+            n += 1.0;
+        }
+        for i in 0..t {
+            for j in 0..i {
+                gram[(i, j)] = gram[(j, i)];
+            }
+            // Tiny ridge for numerical robustness of near-collinear bases.
+            gram[(i, i)] += 1e-9;
+        }
+        let coeffs = Cholesky::factor(&gram)
+            .and_then(|ch| ch.solve(&rhs))
+            .map_err(|e| FitError::Numeric(e.to_string()))?;
+        // R^2 = 1 - SSE/SST; SSE = y'y - 2 c'X'y + c'X'X c.
+        let mut cxx = 0.0;
+        for i in 0..t {
+            for j in 0..t {
+                cxx += coeffs[i] * gram[(i, j)] * coeffs[j];
+            }
+        }
+        let cxy: f64 = coeffs.iter().zip(&rhs).map(|(c, r)| c * r).sum();
+        let sse = (y_sq - 2.0 * cxy + cxx).max(0.0);
+        let sst = (y_sq - y_sum * y_sum / n).max(1e-12);
+        let r2 = 1.0 - sse / sst;
+        Ok(PrModel {
+            degree,
+            terms,
+            coeffs,
+            r2,
+        })
+    }
+
+    /// Model degree.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Monomial exponents in model order.
+    pub fn terms(&self) -> &[(u8, u8)] {
+        &self.terms
+    }
+
+    /// Fitted coefficients, aligned with [`PrModel::terms`].
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Coefficient of determination of the fit.
+    pub fn r2(&self) -> f64 {
+        self.r2
+    }
+
+    /// Predicts the operator output for an input pair.
+    pub fn predict(&self, a: i8, b: i8) -> f64 {
+        let x = f64::from(a) / SCALE;
+        let y = f64::from(b) / SCALE;
+        self.terms
+            .iter()
+            .zip(&self.coeffs)
+            .map(|(&(i, j), &c)| c * x.powi(i32::from(i)) * y.powi(i32::from(j)))
+            .sum()
+    }
+
+    /// Predicts and rounds to a 16-bit product (saturating).
+    pub fn predict_i16(&self, a: i8, b: i8) -> i16 {
+        self.predict(a, b)
+            .round()
+            .clamp(f64::from(i16::MIN), f64::from(i16::MAX)) as i16
+    }
+
+    /// Returns a copy with all but the `keep` most significant terms
+    /// zeroed (no retraining) — the paper's `Clipped_k` models.
+    ///
+    /// `ranking` lists term indices by descending significance, as
+    /// produced by [`rank_terms`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranking` is not a permutation-prefix of the model's
+    /// term indices.
+    pub fn clipped(&self, ranking: &[usize], keep: usize) -> PrModel {
+        let mut out = self.clone();
+        let kept: Vec<usize> = ranking.iter().copied().take(keep).collect();
+        for (idx, c) in out.coeffs.iter_mut().enumerate() {
+            if !kept.contains(&idx) {
+                *c = 0.0;
+            }
+        }
+        out
+    }
+
+    /// Retrains the model keeping only the `keep` most significant terms
+    /// (the paper's `C_k` models).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting errors.
+    pub fn refit_top(
+        &self,
+        m: &dyn Mul8s,
+        ranking: &[usize],
+        keep: usize,
+    ) -> Result<PrModel> {
+        let terms: Vec<(u8, u8)> = ranking
+            .iter()
+            .take(keep)
+            .map(|&i| self.terms[i])
+            .collect();
+        PrModel::fit_terms(m, self.degree, terms)
+    }
+
+    /// Closure-operator variant of [`PrModel::refit_top`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting errors.
+    pub fn refit_top_fn(
+        &self,
+        f: impl Fn(i8, i8) -> f64,
+        ranking: &[usize],
+        keep: usize,
+    ) -> Result<PrModel> {
+        let terms: Vec<(u8, u8)> = ranking
+            .iter()
+            .take(keep)
+            .map(|&i| self.terms[i])
+            .collect();
+        Self::fit_terms_impl(&f, self.degree, terms)
+    }
+
+    /// The coefficient feature vector for ML models: the coefficients of
+    /// the `k` globally most significant terms, in ranking order (terms
+    /// absent from this model contribute 0).
+    pub fn feature_vector(&self, ranking: &[usize], k: usize) -> Vec<f64> {
+        let full = canonical_terms(self.degree);
+        ranking
+            .iter()
+            .take(k)
+            .map(|&global_idx| {
+                let term = full[global_idx];
+                self.terms
+                    .iter()
+                    .position(|&t| t == term)
+                    .map(|p| self.coeffs[p])
+                    .unwrap_or(0.0)
+            })
+            .collect()
+    }
+
+    /// Mean absolute estimation error against the operator over the
+    /// exhaustive space.
+    pub fn estimation_mae(&self, m: &dyn Mul8s) -> f64 {
+        self.estimation_mae_fn(|a, b| f64::from(m.mul(a, b)))
+    }
+
+    /// Closure-operator variant of [`PrModel::estimation_mae`].
+    pub fn estimation_mae_fn(&self, f: impl Fn(i8, i8) -> f64) -> f64 {
+        let mut acc = 0.0;
+        for (a, b) in exhaustive_pairs() {
+            acc += (self.predict(a, b) - f(a, b)).abs();
+        }
+        acc / 65_536.0
+    }
+
+    /// Signed estimation errors (`actual − estimated`) for histogram
+    /// plots (paper Fig. 4).
+    pub fn estimation_errors(&self, m: &dyn Mul8s) -> Vec<f64> {
+        exhaustive_pairs()
+            .map(|(a, b)| f64::from(m.mul(a, b)) - self.predict(a, b))
+            .collect()
+    }
+}
+
+/// Ranks monomial terms by significance across an operator library:
+/// the mean over models of `|coefficient| × std(monomial feature)`.
+/// Returns term indices (into [`canonical_terms`] of the shared degree)
+/// sorted by descending significance.
+///
+/// # Panics
+///
+/// Panics if `models` is empty or the models disagree on degree/basis.
+pub fn rank_terms(models: &[&PrModel]) -> Vec<usize> {
+    assert!(!models.is_empty(), "need at least one model to rank");
+    let degree = models[0].degree;
+    let terms = canonical_terms(degree);
+    for m in models {
+        assert_eq!(m.degree, degree, "models must share a degree");
+        assert_eq!(m.terms, terms, "models must use the canonical basis");
+    }
+    // Feature standard deviation over the input grid (computed once).
+    let stds: Vec<f64> = terms
+        .iter()
+        .map(|&(i, j)| feature_std(i, j))
+        .collect();
+    let mut importance = vec![0.0f64; terms.len()];
+    for m in models {
+        for (idx, &c) in m.coeffs.iter().enumerate() {
+            importance[idx] += c.abs() * stds[idx];
+        }
+    }
+    let mut order: Vec<usize> = (0..terms.len()).collect();
+    order.sort_by(|&a, &b| {
+        importance[b]
+            .partial_cmp(&importance[a])
+            .expect("finite importance")
+    });
+    order
+}
+
+fn eval_features(terms: &[(u8, u8)], a: i8, b: i8, out: &mut [f64]) {
+    let x = f64::from(a) / SCALE;
+    let y = f64::from(b) / SCALE;
+    // Power tables up to degree 6.
+    let mut xp = [1.0f64; 7];
+    let mut yp = [1.0f64; 7];
+    for k in 1..7 {
+        xp[k] = xp[k - 1] * x;
+        yp[k] = yp[k - 1] * y;
+    }
+    for (slot, &(i, j)) in out.iter_mut().zip(terms) {
+        *slot = xp[i as usize] * yp[j as usize];
+    }
+}
+
+/// Standard deviation of the monomial `x^i y^j` over the normalized
+/// 8-bit grid (computed numerically over one axis since x and y are
+/// independent).
+fn feature_std(i: u8, j: u8) -> f64 {
+    if i == 0 && j == 0 {
+        // The constant term has zero variance but shifts every
+        // prediction; give it a small non-zero scale so operator bias (a
+        // key approximation driver) is rankable without dominating the
+        // structural terms.
+        return 0.1;
+    }
+    let moment = |p: u32| -> f64 {
+        let mut acc = 0.0;
+        for v in i8::MIN..=i8::MAX {
+            acc += (f64::from(v) / SCALE).powi(p as i32);
+        }
+        acc / 256.0
+    };
+    let exi = moment(u32::from(i));
+    let exi2 = moment(2 * u32::from(i));
+    let eyj = moment(u32::from(j));
+    let eyj2 = moment(2 * u32::from(j));
+    let mean = exi * eyj;
+    let var = (exi2 * eyj2 - mean * mean).max(0.0);
+    var.sqrt()
+}
+
+/// Adapter exposing a [`PrModel`] as a [`Mul8s`] operator, so PR-based
+/// estimates can replace real operator tables inside application models
+/// (Section II-B's "PR coefficients-based estimates" execution mode).
+#[derive(Debug, Clone)]
+pub struct PrMul {
+    name: String,
+    model: PrModel,
+}
+
+impl PrMul {
+    /// Wraps a model under an operator name.
+    pub fn new(name: impl Into<String>, model: PrModel) -> PrMul {
+        PrMul {
+            name: name.into(),
+            model,
+        }
+    }
+
+    /// The underlying PR model.
+    pub fn model(&self) -> &PrModel {
+        &self.model
+    }
+}
+
+impl Mul8s for PrMul {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn mul(&self, a: i8, b: i8) -> i16 {
+        self.model.predict_i16(a, b)
+    }
+}
+
+impl fmt::Display for PrModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PR(degree {}, {} terms, R2 {:.4})", self.degree, self.terms.len(), self.r2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clapped_axops::{AxMul, MulArch};
+
+    #[test]
+    fn canonical_terms_counts() {
+        assert_eq!(canonical_terms(1).len(), 3);
+        assert_eq!(canonical_terms(2).len(), 6);
+        assert_eq!(canonical_terms(3).len(), 10);
+        assert_eq!(canonical_terms(2), vec![(0, 0), (1, 0), (0, 1), (2, 0), (1, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn exact_multiplier_recovers_xy_coefficient() {
+        let m = AxMul::new("e", MulArch::Exact);
+        let pr = PrModel::fit(&m, 2);
+        // Coefficient of xy should be SCALE^2 (since features are x/128).
+        let xy_idx = pr.terms().iter().position(|&t| t == (1, 1)).unwrap();
+        assert!((pr.coeffs()[xy_idx] - SCALE * SCALE).abs() < 1e-3);
+        for (idx, &c) in pr.coeffs().iter().enumerate() {
+            if idx != xy_idx {
+                assert!(c.abs() < 1e-3, "term {idx} unexpectedly {c}");
+            }
+        }
+        assert!(pr.r2() > 0.999_999_9);
+        assert_eq!(pr.predict_i16(-128, 127), -16_256);
+    }
+
+    #[test]
+    fn degree3_fits_truncated_multiplier_well() {
+        let m = AxMul::new("t", MulArch::Truncated { k: 4 });
+        let pr = PrModel::fit(&m, 3);
+        assert!(pr.r2() > 0.999, "R2 {}", pr.r2());
+        assert!(pr.estimation_mae(&m) < 20.0);
+    }
+
+    #[test]
+    fn higher_degree_never_fits_worse() {
+        let m = AxMul::new("log", MulArch::Mitchell);
+        let r2_2 = PrModel::fit(&m, 2).r2();
+        let r2_3 = PrModel::fit(&m, 3).r2();
+        let r2_4 = PrModel::fit(&m, 4).r2();
+        assert!(r2_3 >= r2_2 - 1e-12);
+        assert!(r2_4 >= r2_3 - 1e-12);
+    }
+
+    #[test]
+    fn ranking_puts_xy_first_for_multipliers() {
+        let muls: Vec<AxMul> = [
+            MulArch::Exact,
+            MulArch::Truncated { k: 3 },
+            MulArch::Mitchell,
+            MulArch::Drum { k: 4 },
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &arch)| AxMul::new(format!("m{i}"), arch))
+        .collect();
+        let models: Vec<PrModel> = muls.iter().map(|m| PrModel::fit(m, 3)).collect();
+        let refs: Vec<&PrModel> = models.iter().collect();
+        let ranking = rank_terms(&refs);
+        let terms = canonical_terms(3);
+        assert_eq!(terms[ranking[0]], (1, 1), "xy must dominate");
+    }
+
+    #[test]
+    fn clipped_model_degrades_gracefully() {
+        let m = AxMul::new("t", MulArch::Truncated { k: 4 });
+        let pr = PrModel::fit(&m, 3);
+        let ranking = rank_terms(&[&pr]);
+        let full_mae = pr.estimation_mae(&m);
+        let mae5 = pr.clipped(&ranking, 5).estimation_mae(&m);
+        let mae2 = pr.clipped(&ranking, 2).estimation_mae(&m);
+        // Clipping (no retraining) can only match or worsen the fitted
+        // model; between clipped models no strict ordering is guaranteed.
+        assert!(mae5 >= full_mae - 1e-9);
+        assert!(mae2 >= full_mae - 1e-9);
+    }
+
+    #[test]
+    fn refit_top_beats_clipping() {
+        let m = AxMul::new("b", MulArch::BrokenArray { vbl: 6, hbl: 2 });
+        let pr = PrModel::fit(&m, 3);
+        let ranking = rank_terms(&[&pr]);
+        let keep = 4;
+        let clipped = pr.clipped(&ranking, keep).estimation_mae(&m);
+        let refit = pr.refit_top(&m, &ranking, keep).unwrap().estimation_mae(&m);
+        assert!(refit <= clipped + 1e-9, "refit {refit} vs clipped {clipped}");
+    }
+
+    #[test]
+    fn feature_vector_has_requested_length_and_order() {
+        let m = AxMul::new("t", MulArch::Truncated { k: 2 });
+        let pr = PrModel::fit(&m, 3);
+        let ranking = rank_terms(&[&pr]);
+        let fv = pr.feature_vector(&ranking, 4);
+        assert_eq!(fv.len(), 4);
+        assert_eq!(fv[0], pr.coeffs()[ranking[0]]);
+    }
+
+    #[test]
+    fn pr_mul_adapter_matches_rounded_predictions() {
+        let m = AxMul::new("t", MulArch::Truncated { k: 3 });
+        let pr = PrModel::fit(&m, 3);
+        let adapter = PrMul::new("pr_t", pr.clone());
+        for (a, b) in [(0i8, 0i8), (5, -5), (-128, 127), (99, 3)] {
+            assert_eq!(Mul8s::mul(&adapter, a, b), pr.predict_i16(a, b));
+        }
+        assert_eq!(adapter.name(), "pr_t");
+    }
+
+    #[test]
+    fn empty_term_set_is_rejected() {
+        let m = AxMul::new("e", MulArch::Exact);
+        assert!(matches!(
+            PrModel::fit_terms(&m, 2, vec![]),
+            Err(FitError::TooFewSamples { .. })
+        ));
+    }
+}

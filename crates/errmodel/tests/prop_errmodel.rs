@@ -1,0 +1,101 @@
+//! Property tests for the error-modeling crate.
+
+use clapped_axops::{AxMul, MulArch};
+use clapped_errmodel::dist::{ks_statistic, Dist, DistKind};
+use clapped_errmodel::{canonical_terms, rank_terms, ErrorStats, PrModel};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+fn cached_pr(k: usize) -> (std::sync::Arc<AxMul>, PrModel) {
+    static CACHE: Mutex<Option<HashMap<usize, (std::sync::Arc<AxMul>, PrModel)>>> =
+        Mutex::new(None);
+    let mut guard = CACHE.lock().expect("lock");
+    let map = guard.get_or_insert_with(HashMap::new);
+    map.entry(k)
+        .or_insert_with(|| {
+            let m = std::sync::Arc::new(AxMul::new("p", MulArch::Truncated { k }));
+            let pr = PrModel::fit(m.as_ref(), 3);
+            (m.clone(), pr)
+        })
+        .clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Distribution CDFs are monotone and normalized for arbitrary
+    /// parameters.
+    #[test]
+    fn cdf_axioms(mu in -100.0f64..100.0, scale in 0.01f64..100.0, kind_pick in 0usize..6) {
+        let kind = DistKind::ALL[kind_pick];
+        let d = Dist::with_params(kind, mu, scale);
+        prop_assert!(d.cdf(mu - 1000.0 * scale) < 0.01);
+        prop_assert!(d.cdf(mu + 1000.0 * scale) > 0.99);
+        let mut prev = -1e-12;
+        for i in -20..=20 {
+            let c = d.cdf(mu + scale * f64::from(i) / 2.0);
+            prop_assert!(c >= prev - 1e-12, "{:?} not monotone", kind);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+    }
+
+    /// The K-S statistic lies in [0, 1] and is
+    /// small for samples drawn as the distribution's own quantiles.
+    #[test]
+    fn ks_bounds(mu in -10.0f64..10.0, scale in 0.1f64..10.0) {
+        let d = Dist::with_params(DistKind::Logistic, mu, scale);
+        // Inverse-CDF samples of the logistic itself.
+        let samples: Vec<f64> = (1..200)
+            .map(|i| {
+                let u = f64::from(i) / 200.0;
+                mu + scale * (u / (1.0 - u)).ln()
+            })
+            .collect();
+        let ks = ks_statistic(&d, &samples);
+        prop_assert!((0.0..=1.0).contains(&ks));
+        prop_assert!(ks < 0.05, "self-sampled KS {}", ks);
+    }
+
+    /// PR prediction error at any point is bounded by a small multiple
+    /// of the model's full-space MAE plus slack (no wild extrapolation
+    /// inside the training grid).
+    #[test]
+    fn pr_prediction_is_tame(a: i8, b: i8, k in 1usize..6) {
+        let (m, pr) = cached_pr(k);
+        let err = (pr.predict(a, b) - f64::from(clapped_axops::Mul8s::mul(m.as_ref(), a, b))).abs();
+        prop_assert!(err < 2_000.0, "error {} at {}x{}", err, a, b);
+        prop_assert!(pr.r2() <= 1.0 + 1e-12);
+    }
+
+    /// Clipping with the full ranking to the full width is the identity.
+    #[test]
+    fn full_clip_is_identity(k in 1usize..6) {
+        let (m, pr) = cached_pr(k);
+        let ranking = rank_terms(&[&pr]);
+        let clipped = pr.clipped(&ranking, ranking.len());
+        for (x, y) in [(0i8, 0i8), (5, -7), (-128, 127), (99, 99)] {
+            prop_assert_eq!(clipped.predict_i16(x, y), pr.predict_i16(x, y));
+        }
+        let _ = m;
+    }
+
+    /// Canonical term counts follow the triangular-number formula.
+    #[test]
+    fn canonical_term_count(d in 1usize..=6) {
+        prop_assert_eq!(canonical_terms(d).len(), (d + 1) * (d + 2) / 2);
+    }
+
+    /// Error metrics are internally consistent for every truncation
+    /// width: MAE <= max error, MSE >= MAE².
+    #[test]
+    fn stats_consistency(k in 0usize..=6) {
+        let m = AxMul::new("s", MulArch::Truncated { k });
+        let s = ErrorStats::of_multiplier(&m);
+        prop_assert!(s.max_abs_error >= s.mae);
+        prop_assert!(s.mse + 1e-9 >= s.mae * s.mae);
+        prop_assert!((0.0..=1.0).contains(&s.error_probability));
+        prop_assert!(f64::from(s.peak_positive.max(-s.peak_negative)) == s.max_abs_error);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the imaging layer.
+
+use clapped_axops::{Catalog, Mul8s};
+use clapped_imgproc::{app_error_percent, psnr, ConvConfig, ConvEngine, Image, QuantKernel, SynthKind};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+fn exact_taps(n: usize) -> Vec<Arc<dyn Mul8s>> {
+    static CATALOG: OnceLock<Catalog> = OnceLock::new();
+    let cat = CATALOG.get_or_init(Catalog::standard);
+    let exact = cat.get("mul8s_exact").expect("present");
+    (0..n).map(|_| exact.clone() as Arc<dyn Mul8s>).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// PGM roundtrips arbitrary images exactly (P5).
+    #[test]
+    fn pgm_roundtrip(
+        w in 1usize..24, h in 1usize..24,
+        seed: u64,
+    ) {
+        let img = Image::synthetic(SynthKind::SmoothField, w.max(2), h.max(2), seed);
+        let back = Image::from_pgm(&img.to_pgm()).expect("well-formed");
+        prop_assert_eq!(img, back);
+    }
+
+    /// Convolution output stays inside the image value range and the
+    /// engine never panics over the DoF grid.
+    #[test]
+    fn convolution_total_over_dof_grid(
+        seed: u64,
+        stride in 1usize..=3,
+        downsample: bool,
+        scale in 1usize..=2,
+    ) {
+        let img = Image::synthetic(SynthKind::Blobs, 16, 16, seed);
+        let engine = ConvEngine::new(QuantKernel::gaussian(3, 0.85));
+        let cfg = ConvConfig { stride, downsample, scale, ..ConvConfig::default() };
+        let out = engine.convolve(&img, &cfg, &exact_taps(9)).expect("valid config");
+        let expected_w = (16 / scale).div_ceil(if downsample { stride } else { 1 });
+        prop_assert_eq!(out.width(), expected_w);
+        // Output pixels are even (quantization rescale) and bounded.
+        prop_assert!(out.as_slice().iter().all(|&v| v <= 254 && v % 2 == 0));
+    }
+
+    /// Smoothing is a contraction on the value range: output extremes
+    /// never exceed input extremes by more than quantization slack.
+    #[test]
+    fn smoothing_is_range_contractive(seed: u64) {
+        let img = Image::synthetic(SynthKind::Checkerboard, 16, 16, seed);
+        let engine = ConvEngine::new(QuantKernel::gaussian(3, 1.0));
+        let out = engine
+            .convolve(&img, &ConvConfig::default(), &exact_taps(9))
+            .expect("valid config");
+        let in_max = *img.as_slice().iter().max().expect("non-empty");
+        let in_min = *img.as_slice().iter().min().expect("non-empty");
+        let out_max = *out.as_slice().iter().max().expect("non-empty");
+        let out_min = *out.as_slice().iter().min().expect("non-empty");
+        prop_assert!(out_max <= in_max + 4, "{} vs {}", out_max, in_max);
+        prop_assert!(out_min + 4 >= in_min, "{} vs {}", out_min, in_min);
+    }
+
+    /// PSNR/identity and error-percent/identity axioms hold for
+    /// arbitrary generated images.
+    #[test]
+    fn metric_identities(seed: u64, kind_pick in 0usize..5) {
+        let kind = SynthKind::ALL[kind_pick];
+        let img = Image::synthetic(kind, 12, 12, seed);
+        prop_assert!(psnr(&img, &img).is_infinite());
+        prop_assert_eq!(app_error_percent(&img, &img), 0.0);
+    }
+
+    /// Downscale then upscale is bounded-error (averaging loses at most
+    /// the pooled dynamic range locally, and sizes restore exactly).
+    #[test]
+    fn scale_roundtrip_shapes(seed: u64) {
+        let img = Image::synthetic(SynthKind::SmoothField, 16, 16, seed);
+        let down = img.downscale(2);
+        prop_assert_eq!(down.width(), 8);
+        let up = down.upscale_to(2, 16, 16);
+        prop_assert_eq!(up.width(), 16);
+        prop_assert_eq!(up.height(), 16);
+        // Smooth content survives the roundtrip within a loose bound.
+        prop_assert!(app_error_percent(&img, &up) < 20.0);
+    }
+}

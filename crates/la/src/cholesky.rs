@@ -1,0 +1,163 @@
+//! Cholesky factorization for symmetric positive-definite matrices.
+
+use crate::{LaError, Mat, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L L^T`.
+///
+/// Used by the Gaussian-process surrogate in the DSE crate, where the
+/// kernel matrix is symmetric positive definite (after jitter).
+///
+/// # Examples
+///
+/// ```
+/// use clapped_la::{Cholesky, Mat};
+///
+/// let a = Mat::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let ch = Cholesky::factor(&a).unwrap();
+/// let x = ch.solve(&[8.0, 7.0]).unwrap();
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Mat,
+}
+
+impl Cholesky {
+    /// Factors the symmetric positive-definite matrix `a`.
+    ///
+    /// Only the lower triangle of `a` is read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaError::DimensionMismatch`] if `a` is not square and
+    /// [`LaError::NotPositiveDefinite`] if a non-positive pivot occurs.
+    pub fn factor(a: &Mat) -> Result<Cholesky> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LaError::DimensionMismatch {
+                expected: "square matrix".to_string(),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let mut l = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LaError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Borrows the lower-triangular factor `L`.
+    pub fn l(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Solves `A x = b` using the factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaError::DimensionMismatch`] if `b.len()` differs from the
+    /// matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LaError::DimensionMismatch {
+                expected: format!("vector of length {n}"),
+                found: format!("vector of length {}", b.len()),
+            });
+        }
+        // Forward substitution L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[i];
+            for k in 0..i {
+                acc -= self.l[(i, k)] * y[k];
+            }
+            y[i] = acc / self.l[(i, i)];
+        }
+        // Back substitution L^T x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for k in (i + 1)..n {
+                acc -= self.l[(k, i)] * x[k];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of `A`, i.e. `2 * sum(log(diag(L)))`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows())
+            .map(|i| self.l[(i, i)].ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_and_reconstructs() {
+        let a = Mat::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        let l = ch.l();
+        let rebuilt = l.matmul(&l.transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rebuilt[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = Mat::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(&[1.0, 2.0]).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        assert!((ax[0] - 1.0).abs() < 1e-12);
+        assert!((ax[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LaError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Mat::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LaError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn log_det_matches() {
+        let a = Mat::from_rows(&[&[2.0, 0.0], &[0.0, 8.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.log_det() - (16.0f64).ln()).abs() < 1e-12);
+    }
+}

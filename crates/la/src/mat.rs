@@ -1,0 +1,395 @@
+//! Dense row-major matrix type.
+
+use crate::{LaError, Result};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// `Mat` is intentionally minimal: it supports exactly the operations the
+/// CLAppED numerical stack needs (construction, element access, transpose,
+/// matrix products, and factorizations exposed through [`crate::Qr`] and
+/// [`crate::Cholesky`]).
+///
+/// # Examples
+///
+/// ```
+/// use clapped_la::Mat;
+///
+/// let m = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(m[(1, 0)], 3.0);
+/// assert_eq!(m.transpose()[(0, 1)], 3.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows.checked_mul(cols).expect("matrix size overflow");
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        if rows.is_empty() {
+            return Mat::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Mat {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Mat { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Mat::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrows the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index out of bounds");
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Returns the transpose of `self`.
+    pub fn transpose(&self) -> Mat {
+        let mut t = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaError::DimensionMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Mat) -> Result<Mat> {
+        if self.cols != rhs.rows {
+            return Err(LaError::DimensionMismatch {
+                expected: format!("rhs with {} rows", self.cols),
+                found: format!("rhs with {} rows", rhs.rows),
+            });
+        }
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaError::DimensionMismatch`] if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(LaError::DimensionMismatch {
+                expected: format!("vector of length {}", self.cols),
+                found: format!("vector of length {}", v.len()),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Adds `rhs` element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaError::DimensionMismatch`] on shape mismatch.
+    pub fn add(&self, rhs: &Mat) -> Result<Mat> {
+        self.zip_with(rhs, |a, b| a + b)
+    }
+
+    /// Subtracts `rhs` element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaError::DimensionMismatch`] on shape mismatch.
+    pub fn sub(&self, rhs: &Mat) -> Result<Mat> {
+        self.zip_with(rhs, |a, b| a - b)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f64) -> Mat {
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v *= s;
+        }
+        out
+    }
+
+    /// Computes `self^T * self` (the Gram matrix) without materializing
+    /// the transpose.
+    pub fn gram(&self) -> Mat {
+        let mut g = Mat::zeros(self.cols, self.cols);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            for a in 0..self.cols {
+                let ra = r[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                for b in a..self.cols {
+                    g[(a, b)] += ra * r[b];
+                }
+            }
+        }
+        for a in 0..self.cols {
+            for b in 0..a {
+                g[(a, b)] = g[(b, a)];
+            }
+        }
+        g
+    }
+
+    /// Frobenius norm of the matrix.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Solves the least-squares problem `min ||self * x - b||` via
+    /// Householder QR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaError::DimensionMismatch`] if `b.len() != self.rows()`,
+    /// and [`LaError::Singular`] if the matrix is rank deficient.
+    pub fn lstsq(&self, b: &[f64]) -> Result<Vec<f64>> {
+        crate::Qr::factor(self).and_then(|qr| qr.solve(b))
+    }
+
+    fn zip_with(&self, rhs: &Mat, f: impl Fn(f64, f64) -> f64) -> Result<Mat> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(LaError::DimensionMismatch {
+                expected: format!("{}x{}", self.rows, self.cols),
+                found: format!("{}x{}", rhs.rows, rhs.cols),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", self.row(i))?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Mat::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Mat::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn matmul_dim_mismatch() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LaError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_works() {
+        let a = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]);
+        let v = a.matvec(&[3.0, 4.0]).unwrap();
+        assert_eq!(v, vec![3.0, 8.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn gram_matches_explicit() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let g = a.gram();
+        let g2 = a.transpose().matmul(&a).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((g[(i, j)] - g2[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Mat::from_rows(&[&[1.0, 2.0]]);
+        let b = Mat::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[4.0, 6.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[2.0, 2.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let a = Mat::zeros(1, 1);
+        let _ = a[(1, 0)];
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the linear-algebra kernel.
+
+use clapped_la::{Cholesky, Mat, Standardizer};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// (A B) v == A (B v) for random small matrices.
+    #[test]
+    fn matmul_is_associative_with_matvec(
+        a in finite_vec(9), b in finite_vec(9), v in finite_vec(3)
+    ) {
+        let ma = Mat::from_vec(3, 3, a);
+        let mb = Mat::from_vec(3, 3, b);
+        let ab = ma.matmul(&mb).expect("dims");
+        let left = ab.matvec(&v).expect("dims");
+        let bv = mb.matvec(&v).expect("dims");
+        let right = ma.matvec(&bv).expect("dims");
+        for (x, y) in left.iter().zip(&right) {
+            prop_assert!((x - y).abs() < 1e-9, "{} vs {}", x, y);
+        }
+    }
+
+    /// Transpose is an involution and reverses shapes.
+    #[test]
+    fn transpose_involution(data in finite_vec(12)) {
+        let m = Mat::from_vec(3, 4, data);
+        let t = m.transpose();
+        prop_assert_eq!(t.rows(), 4);
+        prop_assert_eq!(t.cols(), 3);
+        prop_assert_eq!(t.transpose(), m);
+    }
+
+    /// Least squares on consistent systems recovers the coefficients.
+    #[test]
+    fn lstsq_recovers_planted_solution(coeffs in finite_vec(3)) {
+        // A deterministic well-conditioned 8x3 design matrix.
+        let a = Mat::from_fn(8, 3, |i, j| {
+            ((i + 1) as f64).powi(j as i32) / 8f64.powi(j as i32)
+        });
+        let b = a.matvec(&coeffs).expect("dims");
+        let x = a.lstsq(&b).expect("full rank");
+        for (got, want) in x.iter().zip(&coeffs) {
+            prop_assert!((got - want).abs() < 1e-6, "{} vs {}", got, want);
+        }
+    }
+
+    /// Cholesky solves SPD systems built as A^T A + I.
+    #[test]
+    fn cholesky_solves_spd(data in finite_vec(12), rhs in finite_vec(3)) {
+        let a = Mat::from_vec(4, 3, data);
+        let mut g = a.gram();
+        for i in 0..3 {
+            g[(i, i)] += 1.0;
+        }
+        let ch = Cholesky::factor(&g).expect("SPD by construction");
+        let x = ch.solve(&rhs).expect("dims");
+        let back = g.matvec(&x).expect("dims");
+        for (got, want) in back.iter().zip(&rhs) {
+            prop_assert!((got - want).abs() < 1e-7, "{} vs {}", got, want);
+        }
+    }
+
+    /// Standardize → inverse is the identity.
+    #[test]
+    fn standardizer_roundtrips(rows in proptest::collection::vec(finite_vec(4), 2..20)) {
+        let st = Standardizer::fit(&rows);
+        for row in &rows {
+            let t = st.transform_row(row);
+            let back = st.inverse_row(&t);
+            for (got, want) in back.iter().zip(row) {
+                prop_assert!((got - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Gram matrices are symmetric positive semidefinite (v' G v >= 0).
+    #[test]
+    fn gram_is_psd(data in finite_vec(12), v in finite_vec(3)) {
+        let a = Mat::from_vec(4, 3, data);
+        let g = a.gram();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-12);
+            }
+        }
+        let gv = g.matvec(&v).expect("dims");
+        let quad: f64 = v.iter().zip(&gv).map(|(x, y)| x * y).sum();
+        prop_assert!(quad >= -1e-9, "v'Gv = {}", quad);
+    }
+}

@@ -1,0 +1,166 @@
+//! Regression quality metrics: MAE, RMSE, R² and the paper's *fidelity*.
+
+/// Mean absolute error between actual and predicted values.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(clapped_mlp::mae(&[1.0, 2.0], &[2.0, 2.0]), 0.5);
+/// ```
+pub fn mae(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    assert!(!actual.is_empty(), "empty inputs");
+    actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p).abs())
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Root-mean-square error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    assert!(!actual.is_empty(), "empty inputs");
+    (actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p) * (a - p))
+        .sum::<f64>()
+        / actual.len() as f64)
+        .sqrt()
+}
+
+/// Coefficient of determination R².
+///
+/// Returns 1.0 for a perfect fit; can be negative for fits worse than the
+/// mean predictor. A constant actual series yields 0.0 by convention.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn r2_score(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    assert!(!actual.is_empty(), "empty inputs");
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let sst: f64 = actual.iter().map(|a| (a - mean) * (a - mean)).sum();
+    let sse: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p) * (a - p))
+        .sum();
+    if sst <= 0.0 {
+        return if sse <= 1e-24 { 1.0 } else { 0.0 };
+    }
+    1.0 - sse / sst
+}
+
+/// The *fidelity* metric (paper Section V-B, after AutoAx): the
+/// percentage of sample pairs whose ordering relation (`<`, `=`, `>`)
+/// is preserved by the predictions.
+///
+/// Two values are considered equal when they differ by less than `1e-9`
+/// in relative terms. Complexity is O(n²); the paper's sample sizes
+/// (hundreds to a few thousand points) are well within range.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or hold fewer than 2 samples.
+///
+/// # Examples
+///
+/// ```
+/// // Perfectly ordered predictions, even if biased, give 100 % fidelity.
+/// let actual = [1.0, 2.0, 3.0];
+/// let predicted = [11.0, 12.0, 13.0];
+/// assert_eq!(clapped_mlp::fidelity(&actual, &predicted), 100.0);
+/// ```
+pub fn fidelity(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    assert!(actual.len() >= 2, "need at least two samples");
+    let rel = |a: f64, b: f64| -> std::cmp::Ordering {
+        let scale = a.abs().max(b.abs()).max(1e-12);
+        if (a - b).abs() / scale < 1e-9 {
+            std::cmp::Ordering::Equal
+        } else if a < b {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    };
+    let n = actual.len();
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += 1;
+            if rel(actual[i], actual[j]) == rel(predicted[i], predicted[j]) {
+                agree += 1;
+            }
+        }
+    }
+    100.0 * agree as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_and_rmse_basics() {
+        let a = [1.0, 2.0, 3.0];
+        let p = [1.0, 2.0, 3.0];
+        assert_eq!(mae(&a, &p), 0.0);
+        assert_eq!(rmse(&a, &p), 0.0);
+        let p2 = [2.0, 3.0, 4.0];
+        assert_eq!(mae(&a, &p2), 1.0);
+        assert_eq!(rmse(&a, &p2), 1.0);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean_predictor() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(r2_score(&a, &a), 1.0);
+        let mean = [2.5, 2.5, 2.5, 2.5];
+        assert!(r2_score(&a, &mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_extremes() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let increasing = [0.1, 0.2, 0.3, 0.4];
+        assert_eq!(fidelity(&a, &increasing), 100.0);
+        let reversed = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(fidelity(&a, &reversed), 0.0);
+    }
+
+    #[test]
+    fn fidelity_counts_partial_agreement() {
+        let a = [1.0, 2.0, 3.0];
+        // Pairs: (1,2) ok, (1,3) ok, (2,3) flipped.
+        let p = [1.0, 3.0, 2.0];
+        let f = fidelity(&a, &p);
+        assert!((f - 100.0 * 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fidelity_handles_ties() {
+        let a = [1.0, 1.0, 2.0];
+        let p = [5.0, 5.0, 9.0];
+        assert_eq!(fidelity(&a, &p), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mae(&[1.0], &[1.0, 2.0]);
+    }
+}

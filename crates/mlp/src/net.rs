@@ -1,0 +1,291 @@
+//! The MLP network: dense layers, activations, forward and backward
+//! passes.
+
+use clapped_la::Mat;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Activation functions supported by [`Mlp`] layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Identity (linear output layer).
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the pre-activation `x` and the
+    /// activation output `y`.
+    fn derivative(self, x: f64, y: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// One dense layer: `y = act(W x + b)`.
+#[derive(Debug, Clone)]
+pub(crate) struct Layer {
+    pub(crate) w: Mat,
+    pub(crate) b: Vec<f64>,
+    pub(crate) act: Activation,
+}
+
+/// A multi-layer perceptron for regression.
+///
+/// Construct with [`Mlp::new`], train through
+/// [`Regressor`](crate::Regressor) or drive the
+/// [`Mlp::forward`] pass directly (the backward pass is internal to
+/// the trainer).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    pub(crate) layers: Vec<Layer>,
+}
+
+/// Per-layer gradients produced by a backward pass.
+#[derive(Debug, Clone)]
+pub(crate) struct Gradients {
+    pub(crate) dw: Vec<Mat>,
+    pub(crate) db: Vec<Vec<f64>>,
+}
+
+/// Cached forward-pass state needed by backprop.
+#[derive(Debug, Clone)]
+pub(crate) struct ForwardTrace {
+    /// Pre-activations per layer.
+    zs: Vec<Vec<f64>>,
+    /// Activations per layer (index 0 = input).
+    activations: Vec<Vec<f64>>,
+}
+
+impl Mlp {
+    /// Creates a network with the given layer sizes
+    /// (`[input, hidden…, output]`) using Xavier-uniform initialization
+    /// seeded deterministically.
+    ///
+    /// Hidden layers use `hidden_act`; the output layer uses `out_act`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn new(sizes: &[usize], hidden_act: Activation, out_act: Activation, seed: u64) -> Mlp {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for (li, w) in sizes.windows(2).enumerate() {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
+            let wmat = Mat::from_fn(fan_out, fan_in, |_, _| rng.gen_range(-bound..bound));
+            let act = if li + 2 == sizes.len() { out_act } else { hidden_act };
+            layers.push(Layer {
+                w: wmat,
+                b: vec![0.0; fan_out],
+                act,
+            });
+        }
+        Mlp { layers }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].w.cols()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("at least one layer").w.rows()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.w.rows() * l.w.cols() + l.b.len())
+            .sum()
+    }
+
+    /// Runs the forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.forward_traced(x).activations.pop().expect("output layer")
+    }
+
+    pub(crate) fn forward_traced(&self, x: &[f64]) -> ForwardTrace {
+        assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
+        let mut activations = vec![x.to_vec()];
+        let mut zs = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let prev = activations.last().expect("non-empty");
+            let mut z = layer.w.matvec(prev).expect("dimensions verified");
+            for (zi, bi) in z.iter_mut().zip(&layer.b) {
+                *zi += bi;
+            }
+            let a: Vec<f64> = z.iter().map(|&v| layer.act.apply(v)).collect();
+            zs.push(z);
+            activations.push(a);
+        }
+        ForwardTrace { zs, activations }
+    }
+
+    /// Backward pass for a half-MSE loss `0.5 * ||y_hat - y||^2`;
+    /// returns per-layer gradients.
+    pub(crate) fn backward(&self, trace: &ForwardTrace, target: &[f64]) -> Gradients {
+        let l_count = self.layers.len();
+        let mut dw = Vec::with_capacity(l_count);
+        let mut db = Vec::with_capacity(l_count);
+        // delta of the output layer.
+        let y_hat = trace.activations.last().expect("output");
+        let mut delta: Vec<f64> = y_hat
+            .iter()
+            .zip(target)
+            .zip(&trace.zs[l_count - 1])
+            .map(|((&yh, &y), &z)| {
+                (yh - y) * self.layers[l_count - 1].act.derivative(z, yh)
+            })
+            .collect();
+        for li in (0..l_count).rev() {
+            let prev_a = &trace.activations[li];
+            let layer = &self.layers[li];
+            let g = Mat::from_fn(layer.w.rows(), layer.w.cols(), |r, c| delta[r] * prev_a[c]);
+            dw.push(g);
+            db.push(delta.clone());
+            if li > 0 {
+                let mut next_delta = vec![0.0f64; layer.w.cols()];
+                for r in 0..layer.w.rows() {
+                    let d = delta[r];
+                    if d == 0.0 {
+                        continue;
+                    }
+                    for (nd, &wv) in next_delta.iter_mut().zip(layer.w.row(r)) {
+                        *nd += d * wv;
+                    }
+                }
+                let below = &self.layers[li - 1];
+                for ((nd, &z), &a) in next_delta
+                    .iter_mut()
+                    .zip(&trace.zs[li - 1])
+                    .zip(&trace.activations[li])
+                {
+                    *nd *= below.act.derivative(z, a);
+                }
+                delta = next_delta;
+            }
+        }
+        dw.reverse();
+        db.reverse();
+        Gradients { dw, db }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_parameter_count() {
+        let m = Mlp::new(&[3, 5, 2], Activation::Relu, Activation::Identity, 1);
+        assert_eq!(m.input_dim(), 3);
+        assert_eq!(m.output_dim(), 2);
+        assert_eq!(m.parameter_count(), 3 * 5 + 5 + 5 * 2 + 2);
+        let y = m.forward(&[0.1, 0.2, 0.3]);
+        assert_eq!(y.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_initialization() {
+        let a = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Identity, 42);
+        let b = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Identity, 42);
+        assert_eq!(a.forward(&[0.5, -0.5]), b.forward(&[0.5, -0.5]));
+        let c = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Identity, 43);
+        assert_ne!(a.forward(&[0.5, -0.5]), c.forward(&[0.5, -0.5]));
+    }
+
+    #[test]
+    fn activations_behave() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+        assert_eq!(Activation::Identity.apply(3.5), 3.5);
+        assert!((Activation::Tanh.apply(100.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut m = Mlp::new(&[2, 3, 1], Activation::Tanh, Activation::Identity, 7);
+        let x = [0.3, -0.7];
+        let target = [0.25];
+        let loss = |m: &Mlp| -> f64 {
+            let y = m.forward(&x);
+            0.5 * (y[0] - target[0]).powi(2)
+        };
+        let trace = m.forward_traced(&x);
+        let grads = m.backward(&trace, &target);
+        let eps = 1e-6;
+        for li in 0..m.layers.len() {
+            for r in 0..m.layers[li].w.rows() {
+                for c in 0..m.layers[li].w.cols() {
+                    let orig = m.layers[li].w[(r, c)];
+                    m.layers[li].w[(r, c)] = orig + eps;
+                    let up = loss(&m);
+                    m.layers[li].w[(r, c)] = orig - eps;
+                    let down = loss(&m);
+                    m.layers[li].w[(r, c)] = orig;
+                    let numeric = (up - down) / (2.0 * eps);
+                    let analytic = grads.dw[li][(r, c)];
+                    assert!(
+                        (numeric - analytic).abs() < 1e-6,
+                        "layer {li} w[{r},{c}]: {numeric} vs {analytic}"
+                    );
+                }
+            }
+            for bi in 0..m.layers[li].b.len() {
+                let orig = m.layers[li].b[bi];
+                m.layers[li].b[bi] = orig + eps;
+                let up = loss(&m);
+                m.layers[li].b[bi] = orig - eps;
+                let down = loss(&m);
+                m.layers[li].b[bi] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                let analytic = grads.db[li][bi];
+                assert!(
+                    (numeric - analytic).abs() < 1e-6,
+                    "layer {li} b[{bi}]: {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn wrong_input_panics() {
+        let m = Mlp::new(&[2, 2], Activation::Relu, Activation::Identity, 1);
+        let _ = m.forward(&[1.0]);
+    }
+}

@@ -1,0 +1,440 @@
+//! Deterministic minibatch training (SGD / Adam) and the standardizing
+//! [`Regressor`] wrapper.
+
+use crate::net::{Activation, Gradients, Mlp};
+use crate::{MlpError, Result};
+use clapped_la::{Mat, Standardizer};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Gradient-descent flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Optimizer {
+    /// Plain stochastic gradient descent.
+    Sgd,
+    /// Adam with the usual (0.9, 0.999) moment decays.
+    #[default]
+    Adam,
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Maximum number of epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Optimizer flavour.
+    pub optimizer: Optimizer,
+    /// Fraction of the training data held out for validation
+    /// (the paper uses 20 %).
+    pub validation_fraction: f64,
+    /// Stop after this many epochs without validation improvement
+    /// (0 disables early stopping).
+    pub patience: usize,
+    /// RNG seed for weight init and shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 200,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            optimizer: Optimizer::Adam,
+            validation_fraction: 0.2,
+            patience: 30,
+            seed: 1,
+        }
+    }
+}
+
+/// Summary of one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean training loss per epoch (half-MSE).
+    pub train_loss: Vec<f64>,
+    /// Mean validation loss per epoch (empty when no validation split).
+    pub val_loss: Vec<f64>,
+    /// Epoch at which training stopped.
+    pub stopped_epoch: usize,
+}
+
+/// Adam/SGD state per layer.
+struct OptState {
+    m_w: Vec<Mat>,
+    v_w: Vec<Mat>,
+    m_b: Vec<Vec<f64>>,
+    v_b: Vec<Vec<f64>>,
+    t: usize,
+}
+
+impl OptState {
+    fn new(mlp: &Mlp) -> OptState {
+        OptState {
+            m_w: mlp.layers.iter().map(|l| Mat::zeros(l.w.rows(), l.w.cols())).collect(),
+            v_w: mlp.layers.iter().map(|l| Mat::zeros(l.w.rows(), l.w.cols())).collect(),
+            m_b: mlp.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+            v_b: mlp.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+            t: 0,
+        }
+    }
+}
+
+/// A feature- and target-standardizing MLP regressor with a scalar
+/// output — the model CLAppED uses for quality and performance
+/// prediction.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct Regressor {
+    x_std: Standardizer,
+    y_mean: f64,
+    y_scale: f64,
+    mlp: Mlp,
+    report: TrainReport,
+}
+
+impl Regressor {
+    /// Fits a regressor with the given hidden layer sizes.
+    ///
+    /// Features and targets are z-score standardized internally; hidden
+    /// layers use ReLU, the output is linear.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlpError::BadDataset`] if `xs` is empty, lengths
+    /// disagree, or rows have inconsistent dimensions.
+    pub fn fit(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        hidden: &[usize],
+        config: &TrainConfig,
+    ) -> Result<Regressor> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(MlpError::BadDataset {
+                reason: format!("{} feature rows vs {} targets", xs.len(), ys.len()),
+            });
+        }
+        let dim = xs[0].len();
+        if dim == 0 || xs.iter().any(|r| r.len() != dim) {
+            return Err(MlpError::BadDataset {
+                reason: "inconsistent or empty feature rows".to_string(),
+            });
+        }
+        let x_std = Standardizer::fit(xs);
+        let xt = x_std.transform(xs);
+        let y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let y_var = ys.iter().map(|y| (y - y_mean) * (y - y_mean)).sum::<f64>() / ys.len() as f64;
+        let y_scale = if y_var > 0.0 { y_var.sqrt() } else { 1.0 };
+        let yt: Vec<Vec<f64>> = ys.iter().map(|y| vec![(y - y_mean) / y_scale]).collect();
+
+        let mut sizes = vec![dim];
+        sizes.extend_from_slice(hidden);
+        sizes.push(1);
+        let mut mlp = Mlp::new(&sizes, Activation::Relu, Activation::Identity, config.seed);
+        let report = train(&mut mlp, &xt, &yt, config);
+        Ok(Regressor {
+            x_std,
+            y_mean,
+            y_scale,
+            mlp,
+            report,
+        })
+    }
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training feature dimension.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let xt = self.x_std.transform_row(x);
+        self.mlp.forward(&xt)[0] * self.y_scale + self.y_mean
+    }
+
+    /// Predicts a batch of rows.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// The training report.
+    pub fn report(&self) -> &TrainReport {
+        &self.report
+    }
+
+    /// Number of trainable parameters in the underlying network.
+    pub fn parameter_count(&self) -> usize {
+        self.mlp.parameter_count()
+    }
+}
+
+/// Trains an MLP in place on pre-standardized data; returns the report.
+pub(crate) fn train(
+    mlp: &mut Mlp,
+    xs: &[Vec<f64>],
+    ys: &[Vec<f64>],
+    config: &TrainConfig,
+) -> TrainReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(0x9E37_79B9));
+    let n = xs.len();
+    let n_val = ((n as f64) * config.validation_fraction).round() as usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let (val_idx, train_idx) = order.split_at(n_val.min(n.saturating_sub(1)));
+    let train_idx: Vec<usize> = train_idx.to_vec();
+    let val_idx: Vec<usize> = val_idx.to_vec();
+
+    let mut state = OptState::new(mlp);
+    let mut best_val = f64::INFINITY;
+    let mut best_weights: Option<Mlp> = None;
+    let mut since_best = 0usize;
+    let mut train_hist = Vec::new();
+    let mut val_hist = Vec::new();
+    let mut stopped = config.epochs;
+
+    let mut epoch_order = train_idx.clone();
+    for epoch in 0..config.epochs {
+        epoch_order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        for batch in epoch_order.chunks(config.batch_size.max(1)) {
+            let mut acc: Option<Gradients> = None;
+            for &i in batch {
+                let trace = mlp.forward_traced(&xs[i]);
+                let g = mlp.backward(&trace, &ys[i]);
+                let y_hat = mlp.forward(&xs[i]);
+                epoch_loss += 0.5
+                    * y_hat
+                        .iter()
+                        .zip(&ys[i])
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>();
+                acc = Some(match acc {
+                    None => g,
+                    Some(mut a) => {
+                        for (aw, gw) in a.dw.iter_mut().zip(&g.dw) {
+                            *aw = aw.add(gw).expect("same shapes");
+                        }
+                        for (ab, gb) in a.db.iter_mut().zip(&g.db) {
+                            for (x, y) in ab.iter_mut().zip(gb) {
+                                *x += y;
+                            }
+                        }
+                        a
+                    }
+                });
+            }
+            if let Some(mut g) = acc {
+                let scale = 1.0 / batch.len() as f64;
+                for gw in &mut g.dw {
+                    *gw = gw.scale(scale);
+                }
+                for gb in &mut g.db {
+                    for x in gb.iter_mut() {
+                        *x *= scale;
+                    }
+                }
+                apply_update(mlp, &g, &mut state, config);
+            }
+        }
+        train_hist.push(epoch_loss / train_idx.len().max(1) as f64);
+
+        if !val_idx.is_empty() {
+            let vloss = val_idx
+                .iter()
+                .map(|&i| {
+                    let y_hat = mlp.forward(&xs[i]);
+                    0.5 * y_hat
+                        .iter()
+                        .zip(&ys[i])
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+                / val_idx.len() as f64;
+            val_hist.push(vloss);
+            if vloss < best_val - 1e-12 {
+                best_val = vloss;
+                best_weights = Some(mlp.clone());
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if config.patience > 0 && since_best >= config.patience {
+                    stopped = epoch + 1;
+                    break;
+                }
+            }
+        }
+    }
+    if let Some(best) = best_weights {
+        *mlp = best;
+    }
+    TrainReport {
+        train_loss: train_hist,
+        val_loss: val_hist,
+        stopped_epoch: stopped,
+    }
+}
+
+fn apply_update(mlp: &mut Mlp, g: &Gradients, state: &mut OptState, config: &TrainConfig) {
+    let lr = config.learning_rate;
+    match config.optimizer {
+        Optimizer::Sgd => {
+            for (li, layer) in mlp.layers.iter_mut().enumerate() {
+                for r in 0..layer.w.rows() {
+                    for c in 0..layer.w.cols() {
+                        layer.w[(r, c)] -= lr * g.dw[li][(r, c)];
+                    }
+                }
+                for (b, gb) in layer.b.iter_mut().zip(&g.db[li]) {
+                    *b -= lr * gb;
+                }
+            }
+        }
+        Optimizer::Adam => {
+            const B1: f64 = 0.9;
+            const B2: f64 = 0.999;
+            const EPS: f64 = 1e-8;
+            state.t += 1;
+            let t = state.t as f64;
+            let bc1 = 1.0 - B1.powf(t);
+            let bc2 = 1.0 - B2.powf(t);
+            for (li, layer) in mlp.layers.iter_mut().enumerate() {
+                for r in 0..layer.w.rows() {
+                    for c in 0..layer.w.cols() {
+                        let grad = g.dw[li][(r, c)];
+                        let m = &mut state.m_w[li][(r, c)];
+                        *m = B1 * *m + (1.0 - B1) * grad;
+                        let v = &mut state.v_w[li][(r, c)];
+                        *v = B2 * *v + (1.0 - B2) * grad * grad;
+                        let mhat = state.m_w[li][(r, c)] / bc1;
+                        let vhat = state.v_w[li][(r, c)] / bc2;
+                        layer.w[(r, c)] -= lr * mhat / (vhat.sqrt() + EPS);
+                    }
+                }
+                for bi in 0..layer.b.len() {
+                    let grad = g.db[li][bi];
+                    state.m_b[li][bi] = B1 * state.m_b[li][bi] + (1.0 - B1) * grad;
+                    state.v_b[li][bi] = B2 * state.v_b[li][bi] + (1.0 - B2) * grad * grad;
+                    let mhat = state.m_b[li][bi] / bc1;
+                    let vhat = state.v_b[li][bi] / bc2;
+                    layer.b[bi] -= lr * mhat / (vhat.sqrt() + EPS);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mae, r2_score};
+
+    fn grid_dataset(f: impl Fn(f64, f64) -> f64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let (a, b) = (i as f64 / 10.0 - 1.0, j as f64 / 10.0 - 1.0);
+                xs.push(vec![a, b]);
+                ys.push(f(a, b));
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let (xs, ys) = grid_dataset(|a, b| 3.0 * a - 2.0 * b + 1.0);
+        let config = TrainConfig {
+            epochs: 300,
+            ..TrainConfig::default()
+        };
+        let model = Regressor::fit(&xs, &ys, &[8], &config).unwrap();
+        let preds = model.predict_batch(&xs);
+        assert!(r2_score(&ys, &preds) > 0.99, "r2 {}", r2_score(&ys, &preds));
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        let (xs, ys) = grid_dataset(|a, b| a * b + 0.5 * a * a);
+        let config = TrainConfig {
+            epochs: 600,
+            learning_rate: 3e-3,
+            patience: 100,
+            ..TrainConfig::default()
+        };
+        let model = Regressor::fit(&xs, &ys, &[24, 24], &config).unwrap();
+        let preds = model.predict_batch(&xs);
+        assert!(mae(&ys, &preds) < 0.05, "mae {}", mae(&ys, &preds));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (xs, ys) = grid_dataset(|a, b| a + b);
+        let config = TrainConfig {
+            epochs: 50,
+            ..TrainConfig::default()
+        };
+        let m1 = Regressor::fit(&xs, &ys, &[8], &config).unwrap();
+        let m2 = Regressor::fit(&xs, &ys, &[8], &config).unwrap();
+        assert_eq!(m1.predict(&[0.3, 0.4]), m2.predict(&[0.3, 0.4]));
+    }
+
+    #[test]
+    fn sgd_also_converges_on_linear() {
+        let (xs, ys) = grid_dataset(|a, b| a - b);
+        let config = TrainConfig {
+            epochs: 400,
+            optimizer: Optimizer::Sgd,
+            learning_rate: 0.05,
+            ..TrainConfig::default()
+        };
+        let model = Regressor::fit(&xs, &ys, &[8], &config).unwrap();
+        let preds = model.predict_batch(&xs);
+        assert!(r2_score(&ys, &preds) > 0.95);
+    }
+
+    #[test]
+    fn early_stopping_reports_epoch() {
+        let (xs, ys) = grid_dataset(|a, _| a);
+        let config = TrainConfig {
+            epochs: 1000,
+            patience: 5,
+            ..TrainConfig::default()
+        };
+        let model = Regressor::fit(&xs, &ys, &[4], &config).unwrap();
+        assert!(model.report().stopped_epoch <= 1000);
+        assert!(!model.report().val_loss.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_datasets() {
+        let config = TrainConfig::default();
+        assert!(Regressor::fit(&[], &[], &[4], &config).is_err());
+        assert!(Regressor::fit(&[vec![1.0]], &[1.0, 2.0], &[4], &config).is_err());
+        assert!(Regressor::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], &[4], &config).is_err());
+    }
+
+    #[test]
+    fn parameter_count_is_positive() {
+        let (xs, ys) = grid_dataset(|a, _| a);
+        let model = Regressor::fit(
+            &xs,
+            &ys,
+            &[4],
+            &TrainConfig {
+                epochs: 1,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(model.parameter_count(), 2 * 4 + 4 + 4 + 1);
+    }
+}

@@ -1,0 +1,107 @@
+// Index-based loops over multiple coupled arrays are the clearest idiom
+// for the numeric kernels in this crate.
+#![allow(clippy::needless_range_loop)]
+
+//! Gate-level netlist substrate: IR, simulation, optimization, LUT-K
+//! technology mapping, timing and power estimation.
+//!
+//! This crate is CLAppED's stand-in for the Xilinx Vivado synthesis flow the
+//! paper uses as its ground-truth accelerator characterization. It provides:
+//!
+//! - a combinational gate-level IR ([`Netlist`]) that is a DAG by
+//!   construction,
+//! - 64-way bit-parallel simulation,
+//! - constant folding / dead-code elimination ([`optimize`]),
+//! - structural arithmetic builders ([`bus`]): ripple-carry adders,
+//!   Baugh-Wooley signed multipliers, compressors, barrel shifters,
+//!   leading-one detectors,
+//! - a cut-based LUT-K technology mapper ([`map_luts`]),
+//! - level-based timing ([`TimingModel`]) and switching-activity power
+//!   estimation ([`PowerModel`]),
+//! - a one-call synthesis flow ([`synthesize`]) producing a [`SynthReport`].
+//!
+//! # Examples
+//!
+//! ```
+//! use clapped_netlist::{bus, Netlist, synthesize, SynthConfig};
+//!
+//! let mut n = Netlist::new("adder4");
+//! let a = n.input_bus("a", 4);
+//! let b = n.input_bus("b", 4);
+//! let (sum, carry) = bus::ripple_carry_add(&mut n, &a, &b, None);
+//! n.output_bus("sum", &sum);
+//! n.output("cout", carry);
+//! let report = synthesize(&n, &SynthConfig::default()).unwrap();
+//! assert!(report.lut_count > 0);
+//! ```
+
+pub mod bdd;
+pub mod bus;
+mod ir;
+mod map;
+mod opt;
+mod power;
+mod sim;
+mod synth;
+mod timing;
+pub mod verilog;
+
+pub use ir::{Gate, Netlist, SignalId};
+pub use map::{map_luts, MapStrategy, MappedLut, MappedNetlist};
+pub use opt::optimize;
+pub use power::{estimate_power, PowerModel, PowerReport};
+pub use sim::{pack_bus_samples, unpack_bus_samples};
+pub use synth::{synthesize, SynthConfig, SynthReport};
+pub use timing::TimingModel;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for netlist operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// An input value vector did not match the number of netlist inputs.
+    InputCountMismatch {
+        /// Number of primary inputs in the netlist.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+    /// The mapper could not cover a node with a K-feasible cut.
+    Unmappable {
+        /// The node that could not be covered.
+        node: SignalId,
+    },
+    /// Functional verification after mapping failed.
+    MappingMismatch,
+    /// A BDD operation exceeded its node budget.
+    BddLimit {
+        /// The configured node limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::InputCountMismatch { expected, found } => {
+                write!(f, "expected {expected} input values, found {found}")
+            }
+            NetlistError::Unmappable { node } => {
+                write!(f, "node {node:?} has no K-feasible cut")
+            }
+            NetlistError::MappingMismatch => {
+                write!(f, "mapped netlist is not functionally equivalent")
+            }
+            NetlistError::BddLimit { limit } => {
+                write!(f, "BDD node budget of {limit} exhausted")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, NetlistError>;

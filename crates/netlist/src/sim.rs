@@ -1,0 +1,270 @@
+//! 64-way bit-parallel netlist simulation.
+//!
+//! Every signal is represented by a `u64` word: bit *i* of the word is the
+//! signal's value in simulation lane *i*, so a single pass evaluates 64
+//! input vectors at once. This is the workhorse behind exhaustive operator
+//! characterization (8×8-bit spaces are 1024 words) and switching-activity
+//! power estimation.
+
+use crate::ir::{Gate, Netlist};
+use crate::NetlistError;
+
+impl Netlist {
+    /// Evaluates every signal for 64 parallel input lanes.
+    ///
+    /// `input_words[k]` supplies the 64 lane values of the k-th primary
+    /// input (in [`Netlist::inputs`] order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputCountMismatch`] if the number of words
+    /// differs from the number of primary inputs.
+    pub fn eval_words(&self, input_words: &[u64]) -> crate::Result<Vec<u64>> {
+        if input_words.len() != self.inputs().len() {
+            return Err(NetlistError::InputCountMismatch {
+                expected: self.inputs().len(),
+                found: input_words.len(),
+            });
+        }
+        let mut vals = vec![0u64; self.len()];
+        let mut next_input = 0;
+        for (i, gate) in self.gates().iter().enumerate() {
+            vals[i] = match *gate {
+                Gate::Input { .. } => {
+                    let w = input_words[next_input];
+                    next_input += 1;
+                    w
+                }
+                Gate::Const(c) => {
+                    if c {
+                        u64::MAX
+                    } else {
+                        0
+                    }
+                }
+                Gate::Buf(a) => vals[a.index()],
+                Gate::Not(a) => !vals[a.index()],
+                Gate::And(a, b) => vals[a.index()] & vals[b.index()],
+                Gate::Or(a, b) => vals[a.index()] | vals[b.index()],
+                Gate::Xor(a, b) => vals[a.index()] ^ vals[b.index()],
+                Gate::Nand(a, b) => !(vals[a.index()] & vals[b.index()]),
+                Gate::Nor(a, b) => !(vals[a.index()] | vals[b.index()]),
+                Gate::Xnor(a, b) => !(vals[a.index()] ^ vals[b.index()]),
+                Gate::Mux { sel, t, f } => {
+                    let s = vals[sel.index()];
+                    (s & vals[t.index()]) | (!s & vals[f.index()])
+                }
+                Gate::Maj(a, b, c) => {
+                    let (x, y, z) = (vals[a.index()], vals[b.index()], vals[c.index()]);
+                    (x & y) | (x & z) | (y & z)
+                }
+            };
+        }
+        Ok(vals)
+    }
+
+    /// Evaluates the primary outputs for 64 parallel lanes.
+    ///
+    /// # Errors
+    ///
+    /// See [`Netlist::eval_words`].
+    pub fn simulate_words(&self, input_words: &[u64]) -> crate::Result<Vec<u64>> {
+        let vals = self.eval_words(input_words)?;
+        Ok(self.outputs().iter().map(|(_, s)| vals[s.index()]).collect())
+    }
+
+    /// Evaluates the primary outputs for a single boolean input vector.
+    ///
+    /// # Errors
+    ///
+    /// See [`Netlist::eval_words`].
+    pub fn simulate_bool(&self, inputs: &[bool]) -> crate::Result<Vec<bool>> {
+        let words: Vec<u64> = inputs.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        let outs = self.simulate_words(&words)?;
+        Ok(outs.iter().map(|&w| w & 1 == 1).collect())
+    }
+
+    /// Evaluates an output *bus* for up to 64 integer samples at once.
+    ///
+    /// `bus` lists the signals of the bus LSB-first. `samples` holds the
+    /// integer values to drive on `input_bus` (LSB-first as well); both
+    /// buses are driven/read in two's complement when `signed` is set.
+    ///
+    /// This is a convenience wrapper for operator-style netlists with
+    /// exactly two input buses; see `clapped-axops` for typical usage.
+    ///
+    /// # Errors
+    ///
+    /// See [`Netlist::eval_words`].
+    pub fn simulate_binary_op(
+        &self,
+        a_width: usize,
+        b_width: usize,
+        pairs: &[(i64, i64)],
+        out_signed: bool,
+    ) -> crate::Result<Vec<i64>> {
+        assert!(pairs.len() <= 64, "at most 64 samples per call");
+        assert_eq!(
+            self.inputs().len(),
+            a_width + b_width,
+            "netlist must have exactly a_width + b_width inputs"
+        );
+        let a_vals: Vec<i64> = pairs.iter().map(|p| p.0).collect();
+        let b_vals: Vec<i64> = pairs.iter().map(|p| p.1).collect();
+        let mut words = pack_bus_samples(&a_vals, a_width);
+        words.extend(pack_bus_samples(&b_vals, b_width));
+        let outs = self.simulate_words(&words)?;
+        Ok(unpack_bus_samples(&outs, pairs.len(), out_signed))
+    }
+}
+
+/// Packs up to 64 integer samples into per-bit simulation words.
+///
+/// Word *k* of the result carries bit *k* of every sample: bit *i* of word
+/// *k* equals bit *k* of `samples[i]`. Negative values are packed in two's
+/// complement.
+///
+/// # Panics
+///
+/// Panics if more than 64 samples are supplied.
+///
+/// # Examples
+///
+/// ```
+/// let words = clapped_netlist::pack_bus_samples(&[0b10, 0b01], 2);
+/// assert_eq!(words[0] & 0b11, 0b10); // LSBs of samples 0 and 1
+/// assert_eq!(words[1] & 0b11, 0b01);
+/// ```
+pub fn pack_bus_samples(samples: &[i64], width: usize) -> Vec<u64> {
+    assert!(samples.len() <= 64, "at most 64 samples per word");
+    let mut words = vec![0u64; width];
+    for (lane, &v) in samples.iter().enumerate() {
+        let bits = v as u64;
+        for (k, word) in words.iter_mut().enumerate() {
+            if (bits >> k) & 1 == 1 {
+                *word |= 1 << lane;
+            }
+        }
+    }
+    words
+}
+
+/// Unpacks per-bit output words back into `count` integer samples.
+///
+/// When `signed` is set the most significant supplied word is treated as a
+/// sign bit and the result is sign-extended.
+pub fn unpack_bus_samples(words: &[u64], count: usize, signed: bool) -> Vec<i64> {
+    assert!(count <= 64, "at most 64 samples per word");
+    let width = words.len();
+    (0..count)
+        .map(|lane| {
+            let mut v: u64 = 0;
+            for (k, &word) in words.iter().enumerate() {
+                if (word >> lane) & 1 == 1 {
+                    v |= 1 << k;
+                }
+            }
+            if signed && width > 0 && width < 64 && (v >> (width - 1)) & 1 == 1 {
+                // Sign-extend.
+                (v | (!0u64 << width)) as i64
+            } else {
+                v as i64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Netlist;
+
+    #[test]
+    fn gate_semantics() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let gates = [
+            n.and(a, b),
+            n.or(a, b),
+            n.xor(a, b),
+            n.nand(a, b),
+            n.nor(a, b),
+            n.xnor(a, b),
+            n.mux(c, a, b),
+            n.maj(a, b, c),
+            n.not(a),
+        ];
+        for (i, g) in gates.into_iter().enumerate() {
+            n.output(format!("o{i}"), g);
+        }
+        // Exhaustive 3-input truth check against Rust semantics.
+        for bits in 0..8u8 {
+            let (a, b, c) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+            let out = n.simulate_bool(&[a, b, c]).unwrap();
+            assert_eq!(out[0], a & b);
+            assert_eq!(out[1], a | b);
+            assert_eq!(out[2], a ^ b);
+            assert_eq!(out[3], !(a & b));
+            assert_eq!(out[4], !(a | b));
+            assert_eq!(out[5], !(a ^ b));
+            assert_eq!(out[6], if c { a } else { b });
+            assert_eq!(out[7], (a & b) | (a & c) | (b & c));
+            assert_eq!(out[8], !a);
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_unsigned() {
+        let samples = [0i64, 1, 5, 12, 15];
+        let words = pack_bus_samples(&samples, 4);
+        let back = unpack_bus_samples(&words, samples.len(), false);
+        assert_eq!(back, samples);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_signed() {
+        let samples = [-8i64, -1, 0, 3, 7];
+        let words = pack_bus_samples(&samples, 4);
+        let back = unpack_bus_samples(&words, samples.len(), true);
+        assert_eq!(back, samples);
+    }
+
+    #[test]
+    fn input_count_mismatch_is_error() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        n.output("y", a);
+        assert!(n.simulate_bool(&[]).is_err());
+    }
+
+    #[test]
+    fn parallel_lanes_agree_with_scalar() {
+        let mut n = Netlist::new("t");
+        let a = n.input_bus("a", 2);
+        let b = n.input_bus("b", 2);
+        let x = n.xor(a[0], b[1]);
+        let y = n.and(a[1], b[0]);
+        n.output("x", x);
+        n.output("y", y);
+        // Drive all 16 combinations in parallel lanes.
+        let mut pairs = Vec::new();
+        for av in 0..4i64 {
+            for bv in 0..4i64 {
+                pairs.push((av, bv));
+            }
+        }
+        let a_words = pack_bus_samples(&pairs.iter().map(|p| p.0).collect::<Vec<_>>(), 2);
+        let b_words = pack_bus_samples(&pairs.iter().map(|p| p.1).collect::<Vec<_>>(), 2);
+        let mut words = a_words;
+        words.extend(b_words);
+        let outs = n.simulate_words(&words).unwrap();
+        for (lane, &(av, bv)) in pairs.iter().enumerate() {
+            let expect_x = ((av & 1) ^ ((bv >> 1) & 1)) == 1;
+            let expect_y = (((av >> 1) & 1) & (bv & 1)) == 1;
+            assert_eq!((outs[0] >> lane) & 1 == 1, expect_x);
+            assert_eq!((outs[1] >> lane) & 1 == 1, expect_y);
+        }
+    }
+}

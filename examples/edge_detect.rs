@@ -1,0 +1,48 @@
+//! Second application: Sobel edge detection under cross-layer
+//! approximation — demonstrating the framework's application-agnostic
+//! behavioural interface. Writes the edge maps as PGM files.
+//!
+//! Run with: `cargo run --release --example edge_detect [out_dir]`
+
+use clapped::axops::{Catalog, Mul8s};
+use clapped::imgproc::{ConvConfig, Image, SobelEdge, SynthKind};
+use std::error::Error;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/edges"));
+    std::fs::create_dir_all(&out_dir)?;
+
+    let catalog = Catalog::standard();
+    let exact = catalog.get("mul8s_exact").expect("catalog operator");
+    let app = SobelEdge::standard(64, exact.clone(), 11);
+    let image = Image::synthetic(SynthKind::Blobs, 64, 64, 11);
+    image.save_pgm(out_dir.join("input.pgm"))?;
+
+    println!("{:<18} {:>10} {:>10}", "operator", "PSNR (dB)", "err %");
+    for name in ["mul8s_exact", "mul8s_tr4", "mul8s_drum4", "mul8s_bam_v6_h2", "mul8s_log"] {
+        let m = catalog.get(name).expect("catalog operator");
+        let taps: Vec<Arc<dyn Mul8s>> = (0..9).map(|_| m.clone() as _).collect();
+        let quality = app.evaluate(&ConvConfig::default(), &taps, &taps)?;
+        println!("{name:<18} {:>10.2} {:>10.3}", quality.psnr_db, quality.error_percent);
+        let edges = app.edge_map(&image, &ConvConfig::default(), &taps, &taps)?;
+        edges.save_pgm(out_dir.join(format!("edges_{name}.pgm")))?;
+    }
+
+    // A strided, downsampled configuration for comparison.
+    let cheap = ConvConfig {
+        stride: 2,
+        downsample: true,
+        ..ConvConfig::default()
+    };
+    let taps: Vec<Arc<dyn Mul8s>> = (0..9).map(|_| exact.clone() as _).collect();
+    let q = app.evaluate(&cheap, &taps, &taps)?;
+    println!("{:<18} {:>10.2} {:>10.3}", "exact, stride 2", q.psnr_db, q.error_percent);
+
+    println!("\nedge maps written to {}", out_dir.display());
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Export library operators and a full accelerator datapath as
+//! structural Verilog — both gate-level and LUT-level after technology
+//! mapping — so designs leave the framework into a real FPGA flow.
+//!
+//! Run with: `cargo run --release --example export_verilog [out_dir]`
+
+use clapped::accel::{build_datapath, AcceleratorSpec};
+use clapped::axops::Catalog;
+use clapped::netlist::verilog::{mapped_to_verilog, to_verilog};
+use clapped::netlist::{map_luts, optimize, MapStrategy};
+use std::error::Error;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/verilog"));
+    fs::create_dir_all(&out_dir)?;
+    let catalog = Catalog::standard();
+
+    // 1. One approximate multiplier, gate- and LUT-level.
+    let m = catalog.get("mul8s_drum4").expect("catalog operator");
+    let gate_v = to_verilog(m.netlist());
+    fs::write(out_dir.join("mul8s_drum4_gates.v"), &gate_v)?;
+    let opt = optimize(m.netlist());
+    let mapped = map_luts(&opt, 6, MapStrategy::Depth)?;
+    let lut_v = mapped_to_verilog(&mapped, "mul8s_drum4_lut6");
+    fs::write(out_dir.join("mul8s_drum4_lut6.v"), &lut_v)?;
+    println!(
+        "mul8s_drum4: {} gates -> {} LUT6 ({} lines of Verilog)",
+        opt.logic_gate_count(),
+        mapped.lut_count(),
+        lut_v.lines().count()
+    );
+
+    // 2. A full 3x3 accelerator datapath.
+    let spec = AcceleratorSpec::uniform_2d(64, 3, &catalog.get("mul8s_tr3").expect("operator"));
+    let datapath = build_datapath(&spec, 8)?;
+    let dp_opt = optimize(&datapath);
+    fs::write(out_dir.join("accel_3x3_gates.v"), to_verilog(&dp_opt))?;
+    let dp_mapped = map_luts(&dp_opt, 6, MapStrategy::Depth)?;
+    fs::write(
+        out_dir.join("accel_3x3_lut6.v"),
+        mapped_to_verilog(&dp_mapped, "accel_3x3_lut6"),
+    )?;
+    println!(
+        "3x3 accelerator PE: {} gates -> {} LUT6, depth {}",
+        dp_opt.logic_gate_count(),
+        dp_mapped.lut_count(),
+        dp_mapped.depth
+    );
+    println!("Verilog written to {}", out_dir.display());
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: characterize an approximate multiplier, smooth a noisy
+//! image with it, and price the corresponding FPGA accelerator.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use clapped::accel::{characterize, AcceleratorSpec, CharacterizeConfig};
+use clapped::axops::{Catalog, Mul8s};
+use clapped::errmodel::{ErrorStats, PrModel};
+use clapped::imgproc::{psnr, ConvConfig, ConvEngine, Image, QuantKernel, SynthKind};
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Pick operators from the library.
+    let catalog = Catalog::standard();
+    let exact = catalog.get("mul8s_exact").expect("catalog operator");
+    let approx = catalog.get("mul8s_1KVL").expect("paper alias resolves");
+    println!("operator: {} ({})", approx.name(), approx.arch().describe());
+
+    // 2. Application-independent characterization (paper Section II-A).
+    let stats = ErrorStats::of_multiplier(approx.as_ref());
+    println!(
+        "  MAE {:.2}  avg-rel {:.4}  err-prob {:.3}  peaks [{}, {}]",
+        stats.mae, stats.mean_relative, stats.error_probability,
+        stats.peak_negative, stats.peak_positive
+    );
+    let pr = PrModel::fit(approx.as_ref(), 3);
+    println!("  degree-3 PR model: R^2 = {:.6}", pr.r2());
+
+    // 3. Run the application with cross-layer approximations.
+    let clean = Image::synthetic(SynthKind::SmoothField, 64, 64, 7);
+    let noisy = clean.with_gaussian_noise(12.0, 3);
+    let engine = ConvEngine::new(QuantKernel::gaussian(3, 0.85));
+    let config = ConvConfig::default();
+    let taps_exact: Vec<Arc<dyn Mul8s>> = (0..9).map(|_| exact.clone() as _).collect();
+    let taps_approx: Vec<Arc<dyn Mul8s>> = (0..9).map(|_| approx.clone() as _).collect();
+    let out_exact = engine.convolve(&noisy, &config, &taps_exact)?;
+    let out_approx = engine.convolve(&noisy, &config, &taps_approx)?;
+    println!("noisy input PSNR       : {:.2} dB", psnr(&clean, &noisy));
+    println!("exact smoothing PSNR   : {:.2} dB", psnr(&clean, &out_exact));
+    println!("approx smoothing PSNR  : {:.2} dB", psnr(&clean, &out_approx));
+
+    // 4. Price the hardware (paper Section III).
+    let cfg = CharacterizeConfig::default();
+    for (label, m) in [("exact", &exact), ("approx", &approx)] {
+        let spec = AcceleratorSpec::uniform_2d(64, 3, m);
+        let r = characterize(&spec, &cfg)?;
+        println!(
+            "{label:>6} accelerator: {:4} LUTs, {:.2} ns CPD, {:.1} mW, {:.2} uJ/image",
+            r.luts, r.cpd_ns, r.total_power_mw, r.energy_per_image_uj
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,127 @@
+//! End-to-end integration tests: the full CLAppED pipeline from
+//! operator library through behavioural analysis, hardware
+//! characterization and DSE.
+
+use clapped::axops::{Catalog, Mul8s};
+use clapped::core::{explore, Clapped, EstimationMode, ExploreOptions, MulRepr};
+use clapped::dse::{Configuration, MboConfig};
+use clapped::mlp::TrainConfig;
+
+fn small_framework() -> Clapped {
+    Clapped::builder()
+        .image_size(16)
+        .noise_sigma(12.0)
+        .seed(3)
+        .build()
+        .expect("framework builds")
+}
+
+#[test]
+fn framework_stages_cohere() {
+    let fw = small_framework();
+    // Stage 1: behavioural error analysis.
+    let golden = Configuration::golden(3);
+    assert_eq!(fw.evaluate_error(&golden).expect("evaluates").error_percent, 0.0);
+    let mut approx = golden.clone();
+    let rough = fw.catalog().index_of("mul8s_bam_v8_h3").expect("in catalog");
+    approx.mul_indices = vec![rough; 9];
+    let r = fw.evaluate_error(&approx).expect("evaluates");
+    assert!(r.error_percent > 0.5, "rough multipliers must show up");
+
+    // Stage 2: accelerator estimation orders designs sensibly.
+    let hw_exact = fw.characterize_hw(&golden).expect("synthesis");
+    let hw_approx = fw.characterize_hw(&approx).expect("synthesis");
+    assert!(hw_approx.luts < hw_exact.luts);
+    assert!(hw_approx.energy_per_image_uj < hw_exact.energy_per_image_uj);
+
+    // Stage 3: DSE over both objectives (true mode, tiny budget).
+    let opts = ExploreOptions {
+        error_mode: EstimationMode::True,
+        hw_mode: EstimationMode::True,
+        training_samples: 0,
+        mbo: MboConfig {
+            initial_samples: 6,
+            iterations: 1,
+            batch: 3,
+            candidates: 8,
+            reference: vec![40.0, 5000.0],
+            kappa: 1.0,
+            explore_fraction: 0.1,
+            seed: 1,
+        },
+        actual_eval: false,
+        ..ExploreOptions::default()
+    };
+    let result = explore(&fw, &opts).expect("exploration");
+    assert_eq!(result.search.evaluated.len(), 9);
+    assert!(!result.pareto.is_empty());
+}
+
+#[test]
+fn ml_estimation_roundtrip() {
+    let fw = small_framework();
+    let (_, xs, ys) = fw
+        .make_error_dataset(60, MulRepr::Coeffs(4), 7)
+        .expect("dataset");
+    let model = fw
+        .train_error_model(
+            &xs,
+            &ys,
+            &TrainConfig {
+                epochs: 60,
+                ..TrainConfig::default()
+            },
+        )
+        .expect("training");
+    // The model must at least rank the golden config below a rough one.
+    let golden = Configuration::golden(3);
+    let rough_idx = fw.catalog().index_of("mul8s_bam_v8_h3").expect("in catalog");
+    let mut rough = golden.clone();
+    rough.mul_indices = vec![rough_idx; 9];
+    rough.scale = 3;
+    let p_golden = model.predict(&fw.encode(&golden, MulRepr::Coeffs(4)));
+    let p_rough = model.predict(&fw.encode(&rough, MulRepr::Coeffs(4)));
+    assert!(
+        p_rough > p_golden,
+        "predicted {p_rough} for rough vs {p_golden} for golden"
+    );
+}
+
+#[test]
+fn paper_alias_operators_cover_the_accuracy_spectrum() {
+    let catalog = Catalog::standard();
+    let mae = |name: &str| -> f64 {
+        let m = catalog.get(name).expect("alias resolves");
+        clapped::errmodel::ErrorStats::of_multiplier(m.as_ref()).mae
+    };
+    let kva = mae("mul8s_1KVA");
+    let kvl = mae("mul8s_1KVL");
+    let kr3 = mae("mul8s_1KR3");
+    assert!(kva < kvl, "1KVA ({kva}) must be more accurate than 1KVL ({kvl})");
+    assert!(kvl < kr3, "1KVL ({kvl}) must be more accurate than 1KR3 ({kr3})");
+}
+
+#[test]
+fn hardware_features_track_operator_cost() {
+    let fw = small_framework();
+    let cheap_idx = fw.catalog().index_of("mul8s_bam_v8_h3").expect("in catalog");
+    let mut config = Configuration::golden(3);
+    let x_exact = fw.encode_hw(&config).expect("library characterizes");
+    config.mul_indices = vec![cheap_idx; 9];
+    let x_cheap = fw.encode_hw(&config).expect("library characterizes");
+    assert_eq!(x_exact.len(), x_cheap.len());
+    // Feature 4 is the first tap's LUT count.
+    assert!(x_cheap[4] < x_exact[4]);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The `clapped` facade must expose all subsystem crates.
+    let _ = clapped::la::Mat::identity(2);
+    let _ = clapped::netlist::Netlist::new("t");
+    let _ = clapped::imgproc::Image::filled(2, 2, 0);
+    let _ = clapped::dse::Configuration::golden(3);
+    let m = clapped::axops::Catalog::standard();
+    assert!(m.get("mul8s_exact").is_some());
+    assert_eq!(Mul8s::name(m.get("mul8s_exact").unwrap().as_ref()), "mul8s_exact");
+}

@@ -1,0 +1,149 @@
+//! Cross-crate property-based tests (proptest): invariants that must
+//! hold for arbitrary inputs across the operator, netlist, image and
+//! DSE layers.
+
+use clapped::axops::{AxMul, Mul8s, MulArch};
+use clapped::dse::{dominates, hypervolume, pareto_front, Configuration, DesignSpace};
+use clapped::imgproc::{app_error_percent, psnr, Image};
+use clapped::la::Mat;
+use clapped::netlist::{bus, optimize, Netlist};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Behavioural tables and gate-level netlists agree for every
+    /// architecture and input pair (spot-checking archs per case).
+    #[test]
+    fn operator_table_matches_netlist(a: i8, b: i8, k in 1usize..=5) {
+        let m = AxMul::new("p", MulArch::Truncated { k });
+        let sim = m
+            .netlist()
+            .simulate_binary_op(8, 8, &[(i64::from(a), i64::from(b))], true)
+            .expect("simulates");
+        prop_assert_eq!(sim[0] as i16, m.mul(a, b));
+    }
+
+    /// The exact multiplier architecture is exact for arbitrary inputs.
+    #[test]
+    fn exact_arch_is_exact(a: i8, b: i8) {
+        let m = AxMul::new("e", MulArch::Exact);
+        prop_assert_eq!(m.mul(a, b), i16::from(a) * i16::from(b));
+    }
+
+    /// Ripple-carry addition in the netlist IR matches machine addition
+    /// for arbitrary widths and operands.
+    #[test]
+    fn rca_matches_machine_add(a in 0u32..(1 << 12), b in 0u32..(1 << 12)) {
+        let mut n = Netlist::new("add");
+        let xa = n.input_bus("a", 12);
+        let xb = n.input_bus("b", 12);
+        let (s, c) = bus::ripple_carry_add(&mut n, &xa, &xb, None);
+        n.output_bus("s", &s);
+        n.output("c", c);
+        let out = n
+            .simulate_binary_op(12, 12, &[(i64::from(a), i64::from(b))], false)
+            .expect("simulates");
+        prop_assert_eq!(out[0] as u32, a + b);
+    }
+
+    /// Optimization preserves function on random mux/xor networks.
+    #[test]
+    fn optimize_preserves_function(ops in proptest::collection::vec(0u8..5, 1..40), input_word: u64) {
+        let mut n = Netlist::new("rand");
+        let mut sigs = vec![n.input("a"), n.input("b"), n.input("c")];
+        for (i, op) in ops.iter().enumerate() {
+            let x = sigs[i % sigs.len()];
+            let y = sigs[(i * 7 + 1) % sigs.len()];
+            let z = sigs[(i * 13 + 2) % sigs.len()];
+            let s = match op {
+                0 => n.and(x, y),
+                1 => n.xor(x, y),
+                2 => n.mux(x, y, z),
+                3 => n.not(x),
+                _ => n.maj(x, y, z),
+            };
+            sigs.push(s);
+        }
+        let out = *sigs.last().expect("non-empty");
+        n.output("y", out);
+        let opt = optimize(&n);
+        let words = [input_word, input_word.rotate_left(17), input_word.rotate_left(41)];
+        prop_assert_eq!(
+            n.simulate_words(&words).expect("simulates"),
+            opt.simulate_words(&words).expect("simulates")
+        );
+    }
+
+    /// PSNR is symmetric and app-error is bounded by 100 %.
+    #[test]
+    fn image_metrics_invariants(seed_a: u64, seed_b: u64) {
+        let a = Image::synthetic(clapped::imgproc::SynthKind::SmoothField, 8, 8, seed_a);
+        let b = Image::synthetic(clapped::imgproc::SynthKind::SmoothField, 8, 8, seed_b);
+        prop_assert!((psnr(&a, &b) - psnr(&b, &a)).abs() < 1e-9);
+        let e = app_error_percent(&a, &b);
+        prop_assert!((0.0..=100.0).contains(&e));
+    }
+
+    /// Pareto front members never dominate each other, and every
+    /// non-member is dominated by some member.
+    #[test]
+    fn pareto_front_is_sound_and_complete(
+        points in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..10.0, 2), 1..30)
+    ) {
+        let front = pareto_front(&points);
+        for &i in &front {
+            for &j in &front {
+                prop_assert!(!dominates(&points[i], &points[j]));
+            }
+        }
+        for i in 0..points.len() {
+            if !front.contains(&i) {
+                prop_assert!(front.iter().any(|&j| dominates(&points[j], &points[i])));
+            }
+        }
+    }
+
+    /// Hypervolume is monotone under point addition and bounded by the
+    /// reference box.
+    #[test]
+    fn hypervolume_monotone_and_bounded(
+        points in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 2), 1..20),
+        extra in proptest::collection::vec(0.0f64..1.0, 2)
+    ) {
+        let reference = [1.0, 1.0];
+        let hv = hypervolume(&points, &reference);
+        prop_assert!(hv <= 1.0 + 1e-12);
+        let mut more = points.clone();
+        more.push(extra);
+        prop_assert!(hypervolume(&more, &reference) >= hv - 1e-12);
+    }
+
+    /// Design-space samples always decode to valid convolution configs
+    /// whose tap requirement matches the active multiplier count.
+    #[test]
+    fn sampled_configurations_are_consistent(seed: u64) {
+        use rand::SeedableRng;
+        let space = DesignSpace::paper_default(7);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let c: Configuration = space.sample(&mut rng);
+        prop_assert!(space.contains(&c));
+        prop_assert_eq!(c.conv_config().taps(), c.active_mul_indices().len());
+    }
+
+    /// Least squares via QR reproduces matrix-vector products exactly on
+    /// consistent systems.
+    #[test]
+    fn qr_solves_consistent_systems(
+        coeffs in proptest::collection::vec(-5.0f64..5.0, 3)
+    ) {
+        let a = Mat::from_fn(6, 3, |i, j| ((i * 3 + j * 7) % 11) as f64 - 5.0 + if i == j { 10.0 } else { 0.0 });
+        let b = a.matvec(&coeffs).expect("dims");
+        let x = a.lstsq(&b).expect("solvable");
+        for (got, want) in x.iter().zip(&coeffs) {
+            prop_assert!((got - want).abs() < 1e-6, "{} vs {}", got, want);
+        }
+    }
+}
