@@ -1,0 +1,149 @@
+//! Faulted operator instances: gate-level faults lifted to the
+//! [`Mul8s`] abstraction.
+//!
+//! A [`FaultedMul`] is built by re-simulating an operator's netlist
+//! under a [`FaultSet`] over all 65 536 input pairs, yielding a new
+//! behavioural table. Because every CLAppED stage consumes operators
+//! through [`Mul8s`], the faulted instance can be dropped straight into
+//! application models — which is how gate-level fault injection is
+//! propagated to application-level quality in `clapped-core`.
+
+use crate::table::exhaustive_pairs;
+use crate::{AxMul, Mul8s};
+use clapped_netlist::{pack_bus_samples, unpack_bus_samples, FaultSet, Netlist};
+use std::fmt;
+use std::sync::Arc;
+
+/// Builds the 256×256 product table of a multiplier netlist simulated
+/// under `faults`. With an empty fault set the table is bit-identical to
+/// [`crate::build_mul_table`]'s.
+///
+/// # Errors
+///
+/// Propagates [`clapped_netlist::NetlistError::InvalidFaultSite`] for
+/// out-of-range fault sites.
+///
+/// # Panics
+///
+/// Panics if the netlist interface does not match the operator
+/// convention (16 inputs `a[0..8], b[0..8]`, 16-bit signed product).
+pub fn build_mul_table_with_faults(
+    netlist: &Netlist,
+    faults: &FaultSet,
+) -> clapped_netlist::Result<Vec<i16>> {
+    assert_eq!(netlist.inputs().len(), 16, "expected 16 inputs (a, b)");
+    assert_eq!(netlist.outputs().len(), 16, "expected a 16-bit product");
+    let mut table = vec![0i16; 65_536];
+    let mut batch: Vec<(i8, i8)> = Vec::with_capacity(64);
+    let flush = |batch: &mut Vec<(i8, i8)>,
+                 table: &mut Vec<i16>|
+     -> clapped_netlist::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let a_vals: Vec<i64> = batch.iter().map(|p| p.0 as i64).collect();
+        let b_vals: Vec<i64> = batch.iter().map(|p| p.1 as i64).collect();
+        let mut words = pack_bus_samples(&a_vals, 8);
+        words.extend(pack_bus_samples(&b_vals, 8));
+        let outs = netlist.simulate_words_with_faults(&words, faults)?;
+        let products = unpack_bus_samples(&outs, batch.len(), true);
+        for (&(a, b), &p) in batch.iter().zip(&products) {
+            let idx = ((a as u8 as usize) << 8) | (b as u8 as usize);
+            table[idx] = p as i16;
+        }
+        batch.clear();
+        Ok(())
+    };
+    for (a, b) in exhaustive_pairs() {
+        batch.push((a, b));
+        if batch.len() == 64 {
+            flush(&mut batch, &mut table)?;
+        }
+    }
+    flush(&mut batch, &mut table)?;
+    Ok(table)
+}
+
+/// An operator with injected gate-level faults, usable anywhere a
+/// [`Mul8s`] is.
+#[derive(Clone)]
+pub struct FaultedMul {
+    name: String,
+    table: Arc<[i16]>,
+}
+
+impl FaultedMul {
+    /// Builds the faulted instance of `base` by exhaustive simulation of
+    /// its netlist under `faults`. The operator name gains a `!faulty`
+    /// suffix so reports distinguish it from the healthy instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fault-site validation errors from the simulator.
+    pub fn new(base: &AxMul, faults: &FaultSet) -> clapped_netlist::Result<FaultedMul> {
+        let table = build_mul_table_with_faults(base.netlist(), faults)?;
+        Ok(FaultedMul {
+            name: format!("{}!faulty", base.name()),
+            table: table.into(),
+        })
+    }
+
+    /// Number of input pairs whose product differs from `base`'s.
+    pub fn corrupted_entries(&self, base: &dyn Mul8s) -> usize {
+        exhaustive_pairs()
+            .filter(|&(a, b)| self.mul(a, b) != base.mul(a, b))
+            .count()
+    }
+}
+
+impl Mul8s for FaultedMul {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn mul(&self, a: i8, b: i8) -> i16 {
+        let idx = ((a as u8 as usize) << 8) | (b as u8 as usize);
+        self.table[idx]
+    }
+}
+
+impl fmt::Debug for FaultedMul {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultedMul").field("name", &self.name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MulArch;
+    use clapped_netlist::{FaultKind, SignalId};
+
+    #[test]
+    fn empty_fault_set_reproduces_base_table() {
+        let base = AxMul::new("exact", MulArch::Exact);
+        let faulted = FaultedMul::new(&base, &FaultSet::empty()).unwrap();
+        assert_eq!(faulted.corrupted_entries(&base), 0);
+        assert_eq!(faulted.name(), "exact!faulty");
+    }
+
+    #[test]
+    fn stuck_output_corrupts_products() {
+        let base = AxMul::new("exact", MulArch::Exact);
+        // Stuck-at-1 on the MSB product output forces huge magnitudes.
+        let msb = base.netlist().outputs().last().unwrap().1;
+        let faults = FaultSet::empty().stuck_at(msb, FaultKind::StuckAt1);
+        let faulted = FaultedMul::new(&base, &faults).unwrap();
+        assert!(faulted.corrupted_entries(&base) > 0);
+        // Positive×positive products have a 0 sign bit; the fault flips
+        // them negative.
+        assert!(faulted.mul(10, 10) < 0);
+    }
+
+    #[test]
+    fn invalid_site_propagates() {
+        let base = AxMul::new("exact", MulArch::Exact);
+        let bad = FaultSet::empty().stuck_at(SignalId::from_index(1 << 20), FaultKind::StuckAt0);
+        assert!(FaultedMul::new(&base, &bad).is_err());
+    }
+}

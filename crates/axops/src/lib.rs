@@ -44,6 +44,7 @@ mod booth;
 mod catalog;
 mod common;
 mod drum;
+mod fault;
 mod logmul;
 mod table;
 
@@ -51,8 +52,9 @@ pub use arch::MulArch;
 pub use catalog::{Catalog, PAPER_ALIASES};
 pub use booth::booth_reference;
 pub use drum::drum_reference;
+pub use fault::{build_mul_table_with_faults, FaultedMul};
 pub use logmul::mitchell_reference;
-pub use table::exhaustive_pairs;
+pub use table::{build_mul_table, exhaustive_pairs};
 
 use clapped_netlist::Netlist;
 use std::fmt;

@@ -16,7 +16,7 @@ use serde_json::json;
 use std::time::Instant;
 
 fn random_spec(catalog: &Catalog, rng: &mut ChaCha8Rng) -> AcceleratorSpec {
-    let image_size = [16usize, 32, 48, 64, 96, 128][rng.gen_range(0..6)];
+    let image_size = [16usize, 32, 48, 64, 96, 128][rng.gen_range(0..6usize)];
     AcceleratorSpec {
         image_size,
         window: 3,

@@ -324,15 +324,35 @@ impl Clapped {
     /// # Panics
     ///
     /// Panics if the configuration indexes outside the catalog (it came
-    /// from a different design space).
+    /// from a different design space). Use [`Clapped::try_taps_for`] on
+    /// hot paths that must survive foreign configurations.
     pub fn taps_for(&self, config: &Configuration) -> Vec<Arc<dyn Mul8s>> {
+        match self.try_taps_for(config) {
+            Ok(taps) => taps,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Resolves a configuration's tap multipliers, reporting
+    /// out-of-catalog indices as [`ClappedError::BadConfiguration`]
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClappedError::BadConfiguration`] if any tap index is
+    /// outside the catalog.
+    pub fn try_taps_for(&self, config: &Configuration) -> Result<Vec<Arc<dyn Mul8s>>> {
         config
             .active_mul_indices()
             .iter()
-            .map(|&i| {
-                self.catalog
-                    .at(i)
-                    .expect("configuration indices stay inside the catalog") as Arc<dyn Mul8s>
+            .map(|&i| match self.catalog.at(i) {
+                Some(m) => Ok(m as Arc<dyn Mul8s>),
+                None => Err(ClappedError::BadConfiguration {
+                    reason: format!(
+                        "tap index {i} outside catalog of {} operators",
+                        self.catalog.len()
+                    ),
+                }),
             })
             .collect()
     }
@@ -342,10 +362,28 @@ impl Clapped {
     ///
     /// # Errors
     ///
-    /// Propagates configuration errors from the convolution engine.
+    /// Returns [`ClappedError::BadConfiguration`] for out-of-catalog tap
+    /// indices and propagates configuration errors from the convolution
+    /// engine.
     pub fn evaluate_error(&self, config: &Configuration) -> Result<AppResult> {
-        let taps = self.taps_for(config);
-        Ok(self.app.evaluate(&config.conv_config(), &taps)?)
+        let taps = self.try_taps_for(config)?;
+        self.evaluate_error_with(config, &taps)
+    }
+
+    /// [`Clapped::evaluate_error`] with explicitly supplied tap
+    /// operators — the hook for substituting non-catalog instances such
+    /// as [`clapped_axops::FaultedMul`] into the application model
+    /// (fault-injection campaigns, what-if analyses).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the convolution engine.
+    pub fn evaluate_error_with(
+        &self,
+        config: &Configuration,
+        taps: &[Arc<dyn Mul8s>],
+    ) -> Result<AppResult> {
+        Ok(self.app.evaluate(&config.conv_config(), taps)?)
     }
 
     /// The accelerator design point implied by a configuration: the

@@ -27,10 +27,12 @@
 mod explore;
 mod framework;
 mod repr;
+mod resilience;
 
 pub use explore::{explore, DofSummary, EstimationMode, ExploreOptions, ExploreResult, ParetoPoint};
 pub use framework::{AppKind, Clapped, ClappedBuilder, ErrorDataset};
 pub use repr::MulRepr;
+pub use resilience::{FaultCampaignConfig, FaultCampaignReport, FaultImpact};
 
 use std::error::Error;
 use std::fmt;
@@ -49,6 +51,14 @@ pub enum ClappedError {
     Mlp(clapped_mlp::MlpError),
     /// DSE failed.
     Dse(clapped_dse::DseError),
+    /// A gate-level netlist operation (simulation, fault injection)
+    /// failed.
+    Netlist(clapped_netlist::NetlistError),
+    /// A configuration referenced an operator outside the catalog.
+    BadConfiguration {
+        /// What is inconsistent.
+        reason: String,
+    },
     /// The framework was built without the pieces this call needs.
     Unavailable {
         /// What is missing and how to enable it.
@@ -64,6 +74,10 @@ impl fmt::Display for ClappedError {
             ClappedError::Fit(e) => write!(f, "operator model fit: {e}"),
             ClappedError::Mlp(e) => write!(f, "ML training: {e}"),
             ClappedError::Dse(e) => write!(f, "design-space exploration: {e}"),
+            ClappedError::Netlist(e) => write!(f, "netlist operation: {e}"),
+            ClappedError::BadConfiguration { reason } => {
+                write!(f, "bad configuration: {reason}")
+            }
             ClappedError::Unavailable { reason } => write!(f, "unavailable: {reason}"),
         }
     }
@@ -98,6 +112,12 @@ impl From<clapped_mlp::MlpError> for ClappedError {
 impl From<clapped_dse::DseError> for ClappedError {
     fn from(e: clapped_dse::DseError) -> Self {
         ClappedError::Dse(e)
+    }
+}
+
+impl From<clapped_netlist::NetlistError> for ClappedError {
+    fn from(e: clapped_netlist::NetlistError) -> Self {
+        ClappedError::Netlist(e)
     }
 }
 

@@ -1,0 +1,350 @@
+//! Checkpoint / resume for MBO runs.
+//!
+//! A checkpoint captures the complete [`MboState`]: the configuration,
+//! every evaluated point, the hypervolume trace, the phase counters and
+//! — crucially — the exact RNG stream position (ChaCha8 seed plus word
+//! position), so a resumed run replays the same random choices the
+//! uninterrupted run would have made. Serialization is plain JSON with
+//! deterministic key order, making checkpoints diffable and
+//! byte-comparable.
+
+use crate::mbo::{MboConfig, MboState};
+use crate::space::Configuration;
+use crate::{DseError, Result};
+use clapped_imgproc::ConvMode;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::{json, Value};
+
+/// Version tag written into every checkpoint; bumped on schema changes.
+const CHECKPOINT_VERSION: u64 = 1;
+
+/// JSON conversion for candidate types carried through a checkpoint.
+///
+/// Implemented for `Vec<f64>` (generic numeric genomes) and for
+/// [`Configuration`] (the paper's cross-layer design point).
+pub trait CheckpointCodec: Sized {
+    /// Encodes the candidate as a JSON value.
+    fn to_checkpoint_json(&self) -> Value;
+    /// Decodes a candidate from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Checkpoint`] when the value does not encode a
+    /// valid candidate.
+    fn from_checkpoint_json(value: &Value) -> Result<Self>;
+}
+
+fn bad(reason: impl Into<String>) -> DseError {
+    DseError::Checkpoint { reason: reason.into() }
+}
+
+fn get<'a>(obj: &'a Value, key: &str) -> Result<&'a Value> {
+    match obj.get(key) {
+        Some(v) => Ok(v),
+        None => Err(bad(format!("missing field `{key}`"))),
+    }
+}
+
+fn as_f64(v: &Value, key: &str) -> Result<f64> {
+    v.as_f64().ok_or_else(|| bad(format!("field `{key}` is not a number")))
+}
+
+fn as_u64(v: &Value, key: &str) -> Result<u64> {
+    v.as_u64().ok_or_else(|| bad(format!("field `{key}` is not an unsigned integer")))
+}
+
+fn as_usize(v: &Value, key: &str) -> Result<usize> {
+    Ok(as_u64(v, key)? as usize)
+}
+
+fn as_array<'a>(v: &'a Value, key: &str) -> Result<&'a [Value]> {
+    v.as_array()
+        .map(Vec::as_slice)
+        .ok_or_else(|| bad(format!("field `{key}` is not an array")))
+}
+
+fn f64_vec(v: &Value, key: &str) -> Result<Vec<f64>> {
+    as_array(v, key)?.iter().map(|x| as_f64(x, key)).collect()
+}
+
+impl CheckpointCodec for Vec<f64> {
+    fn to_checkpoint_json(&self) -> Value {
+        Value::from(self.clone())
+    }
+
+    fn from_checkpoint_json(value: &Value) -> Result<Vec<f64>> {
+        f64_vec(value, "candidate")
+    }
+}
+
+impl CheckpointCodec for Configuration {
+    fn to_checkpoint_json(&self) -> Value {
+        json!({
+            "window": self.window,
+            "stride": self.stride,
+            "downsample": self.downsample,
+            "mode": match self.mode {
+                ConvMode::TwoD => "2d",
+                ConvMode::Separable => "separable",
+            },
+            "scale": self.scale,
+            "mul_indices": self.mul_indices.clone(),
+        })
+    }
+
+    fn from_checkpoint_json(value: &Value) -> Result<Configuration> {
+        let mode = match get(value, "mode")?.as_str() {
+            Some("2d") => ConvMode::TwoD,
+            Some("separable") => ConvMode::Separable,
+            other => return Err(bad(format!("unknown conv mode {other:?}"))),
+        };
+        Ok(Configuration {
+            window: as_usize(get(value, "window")?, "window")?,
+            stride: as_usize(get(value, "stride")?, "stride")?,
+            downsample: get(value, "downsample")?
+                .as_bool()
+                .ok_or_else(|| bad("field `downsample` is not a bool"))?,
+            mode,
+            scale: as_usize(get(value, "scale")?, "scale")?,
+            mul_indices: as_array(get(value, "mul_indices")?, "mul_indices")?
+                .iter()
+                .map(|v| as_usize(v, "mul_indices"))
+                .collect::<Result<_>>()?,
+        })
+    }
+}
+
+impl<C: CheckpointCodec + Clone> MboState<C> {
+    /// Serializes the full state — config, evaluations, trace, phase
+    /// counters and exact RNG position — to a JSON string with
+    /// deterministic key ordering.
+    pub fn to_checkpoint(&self) -> String {
+        let word_pos = self.rng.get_word_pos();
+        let state = json!({
+            "version": CHECKPOINT_VERSION,
+            "config": {
+                "initial_samples": self.config.initial_samples,
+                "iterations": self.config.iterations,
+                "batch": self.config.batch,
+                "candidates": self.config.candidates,
+                "reference": self.config.reference.clone(),
+                "kappa": self.config.kappa,
+                "explore_fraction": self.config.explore_fraction,
+                "seed": self.config.seed,
+            },
+            "rng": {
+                "seed": self.rng.get_seed().iter().map(|&b| u64::from(b)).collect::<Vec<_>>(),
+                "word_pos_hi": (word_pos >> 64) as u64,
+                "word_pos_lo": word_pos as u64,
+            },
+            "evaluated": self
+                .evaluated
+                .iter()
+                .map(|(c, o)| json!({
+                    "candidate": c.to_checkpoint_json(),
+                    "objectives": o.clone(),
+                }))
+                .collect::<Vec<_>>(),
+            "hv_trace": self
+                .hv_trace
+                .iter()
+                .map(|&(n, h)| json!([n, h]))
+                .collect::<Vec<_>>(),
+            "initial_done": self.initial_done,
+            "iterations_done": self.iterations_done,
+        });
+        serde_json::to_string_pretty(&state).unwrap_or_else(|_| String::from("{}"))
+    }
+
+    /// Restores a state previously produced by
+    /// [`MboState::to_checkpoint`]. Stepping the restored state yields
+    /// exactly the evaluations the uninterrupted run would have made.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Checkpoint`] on malformed JSON, an unknown
+    /// schema version, or inconsistent fields.
+    pub fn from_checkpoint(text: &str) -> Result<MboState<C>> {
+        let root: Value =
+            serde_json::from_str(text).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+        let version = as_u64(get(&root, "version")?, "version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(bad(format!(
+                "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+            )));
+        }
+
+        let c = get(&root, "config")?;
+        let config = MboConfig {
+            initial_samples: as_usize(get(c, "initial_samples")?, "initial_samples")?,
+            iterations: as_usize(get(c, "iterations")?, "iterations")?,
+            batch: as_usize(get(c, "batch")?, "batch")?,
+            candidates: as_usize(get(c, "candidates")?, "candidates")?,
+            reference: f64_vec(get(c, "reference")?, "reference")?,
+            kappa: as_f64(get(c, "kappa")?, "kappa")?,
+            explore_fraction: as_f64(get(c, "explore_fraction")?, "explore_fraction")?,
+            seed: as_u64(get(c, "seed")?, "seed")?,
+        };
+
+        let r = get(&root, "rng")?;
+        let seed_words = as_array(get(r, "seed")?, "seed")?;
+        if seed_words.len() != 32 {
+            return Err(bad(format!("rng seed has {} bytes, expected 32", seed_words.len())));
+        }
+        let mut seed = [0u8; 32];
+        for (dst, v) in seed.iter_mut().zip(seed_words) {
+            let byte = as_u64(v, "seed")?;
+            if byte > 255 {
+                return Err(bad(format!("rng seed byte {byte} out of range")));
+            }
+            *dst = byte as u8;
+        }
+        let hi = as_u64(get(r, "word_pos_hi")?, "word_pos_hi")?;
+        let lo = as_u64(get(r, "word_pos_lo")?, "word_pos_lo")?;
+        let mut rng = ChaCha8Rng::from_seed(seed);
+        rng.set_word_pos((u128::from(hi) << 64) | u128::from(lo));
+
+        let mut evaluated = Vec::new();
+        for entry in as_array(get(&root, "evaluated")?, "evaluated")? {
+            let candidate = C::from_checkpoint_json(get(entry, "candidate")?)?;
+            let objectives = f64_vec(get(entry, "objectives")?, "objectives")?;
+            if objectives.len() != config.reference.len() {
+                return Err(bad(format!(
+                    "objective vector of dim {} vs reference dim {}",
+                    objectives.len(),
+                    config.reference.len()
+                )));
+            }
+            evaluated.push((candidate, objectives));
+        }
+
+        let mut hv_trace = Vec::new();
+        for entry in as_array(get(&root, "hv_trace")?, "hv_trace")? {
+            let pair = as_array(entry, "hv_trace")?;
+            if pair.len() != 2 {
+                return Err(bad("hv_trace entries must be [count, hv] pairs"));
+            }
+            hv_trace.push((as_usize(&pair[0], "hv_trace")?, as_f64(&pair[1], "hv_trace")?));
+        }
+
+        let initial_done = get(&root, "initial_done")?
+            .as_bool()
+            .ok_or_else(|| bad("field `initial_done` is not a bool"))?;
+        let iterations_done = as_usize(get(&root, "iterations_done")?, "iterations_done")?;
+        if iterations_done > config.iterations {
+            return Err(bad(format!(
+                "iterations_done {iterations_done} exceeds configured {}",
+                config.iterations
+            )));
+        }
+
+        Ok(MboState {
+            config,
+            rng,
+            evaluated,
+            hv_trace,
+            initial_done,
+            iterations_done,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mbo::MboState;
+    use crate::DesignSpace;
+    use rand::Rng;
+
+    fn toy_objective(c: &Vec<f64>) -> Vec<f64> {
+        let x = (c[0] + c[1]) / 2.0;
+        vec![x, (1.0 - x) * (1.0 - x) + 0.05 * (c[0] - c[1]).abs()]
+    }
+
+    fn toy_sample(rng: &mut ChaCha8Rng) -> Vec<f64> {
+        vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]
+    }
+
+    fn config() -> MboConfig {
+        MboConfig {
+            initial_samples: 6,
+            iterations: 4,
+            batch: 3,
+            candidates: 12,
+            reference: vec![1.5, 1.5],
+            kappa: 1.0,
+            explore_fraction: 0.1,
+            seed: 17,
+        }
+    }
+
+    fn run_to_completion(mut state: MboState<Vec<f64>>) -> crate::SearchResult<Vec<f64>> {
+        let mut sample = toy_sample;
+        let encode = |c: &Vec<f64>| c.clone();
+        let mut evaluate = |c: &Vec<f64>| Ok(toy_objective(c));
+        while !state.is_complete() {
+            state.step(&mut sample, &encode, &mut evaluate).unwrap();
+        }
+        state.into_result()
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_byte_identical() {
+        let mut state = MboState::<Vec<f64>>::new(&config()).unwrap();
+        let mut sample = toy_sample;
+        let encode = |c: &Vec<f64>| c.clone();
+        let mut evaluate = |c: &Vec<f64>| Ok(toy_objective(c));
+        state.step(&mut sample, &encode, &mut evaluate).unwrap();
+        state.step(&mut sample, &encode, &mut evaluate).unwrap();
+        let text = state.to_checkpoint();
+        let restored = MboState::<Vec<f64>>::from_checkpoint(&text).unwrap();
+        assert_eq!(restored.to_checkpoint(), text);
+    }
+
+    #[test]
+    fn resume_reproduces_uninterrupted_run() {
+        let cfg = config();
+        let uninterrupted = run_to_completion(MboState::new(&cfg).unwrap());
+
+        let mut state = MboState::<Vec<f64>>::new(&cfg).unwrap();
+        let mut sample = toy_sample;
+        let encode = |c: &Vec<f64>| c.clone();
+        let mut evaluate = |c: &Vec<f64>| Ok(toy_objective(c));
+        // Initial phase + 2 of 4 iterations, then "crash".
+        for _ in 0..3 {
+            state.step(&mut sample, &encode, &mut evaluate).unwrap();
+        }
+        let text = state.to_checkpoint();
+        drop(state);
+        let resumed = run_to_completion(MboState::from_checkpoint(&text).unwrap());
+
+        assert_eq!(resumed.hv_trace, uninterrupted.hv_trace);
+        assert_eq!(resumed.evaluated, uninterrupted.evaluated);
+        assert_eq!(resumed.pareto_indices(), uninterrupted.pareto_indices());
+    }
+
+    #[test]
+    fn configuration_codec_roundtrips() {
+        use rand::SeedableRng;
+        let space = DesignSpace::paper_default(18);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..20 {
+            let c = space.sample(&mut rng);
+            let v = c.to_checkpoint_json();
+            let back = Configuration::from_checkpoint_json(&v).unwrap();
+            assert_eq!(back, c);
+        }
+    }
+
+    #[test]
+    fn malformed_checkpoints_are_rejected() {
+        assert!(MboState::<Vec<f64>>::from_checkpoint("not json").is_err());
+        assert!(MboState::<Vec<f64>>::from_checkpoint("{}").is_err());
+        let wrong_version = r#"{"version": 99}"#;
+        assert!(matches!(
+            MboState::<Vec<f64>>::from_checkpoint(wrong_version),
+            Err(DseError::Checkpoint { .. })
+        ));
+    }
+}

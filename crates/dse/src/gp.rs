@@ -54,6 +54,12 @@ impl Gp {
         if dim == 0 || xs.iter().any(|r| r.len() != dim) {
             return Err(DseError::Surrogate("inconsistent feature rows".to_string()));
         }
+        if xs.iter().flatten().any(|v| !v.is_finite()) {
+            return Err(DseError::Surrogate("non-finite feature values".to_string()));
+        }
+        if ys.iter().any(|v| !v.is_finite()) {
+            return Err(DseError::Surrogate("non-finite target values".to_string()));
+        }
         let x_std = Standardizer::fit(xs);
         let xt = x_std.transform(xs);
         let y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
@@ -78,7 +84,12 @@ impl Gp {
         ] {
             for &noise in &[1e-4f64, 1e-2] {
                 let k = kernel_matrix(&xt, ls, noise);
-                let Ok(chol) = Cholesky::factor(&k) else {
+                // Near-duplicate design points (common late in an MBO
+                // run, when the search converges) make K numerically
+                // semi-definite at this noise level; adaptive jitter
+                // escalation recovers the grid point instead of
+                // discarding it.
+                let Ok((chol, _)) = Cholesky::factor_with_jitter(&k, 1e-10, 8) else {
                     continue;
                 };
                 let Ok(alpha) = chol.solve(&yt) else {
@@ -111,8 +122,33 @@ impl Gp {
     ///
     /// # Panics
     ///
-    /// Panics if `x.len()` differs from the training dimension.
+    /// Panics if `x.len()` differs from the training dimension. Use
+    /// [`Gp::try_predict`] for a non-panicking variant.
     pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        match self.try_predict(x) {
+            Ok(p) => p,
+            Err(e) => panic!("GP prediction failed: {e}"),
+        }
+    }
+
+    /// Predicts `(mean, variance)` at one point, reporting dimension
+    /// mismatches as errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Surrogate`] when `x.len()` differs from the
+    /// training dimension or contains non-finite values.
+    pub fn try_predict(&self, x: &[f64]) -> Result<(f64, f64)> {
+        if x.len() != self.train_x[0].len() {
+            return Err(DseError::Surrogate(format!(
+                "query dim {} vs training dim {}",
+                x.len(),
+                self.train_x[0].len()
+            )));
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(DseError::Surrogate(format!("non-finite query point {x:?}")));
+        }
         let xq = self.x_std.transform_row(x);
         let k_star: Vec<f64> = self
             .train_x
@@ -124,13 +160,13 @@ impl Gp {
         let v = self
             .chol
             .solve(&k_star)
-            .expect("factorization already validated");
+            .map_err(|e| DseError::Surrogate(format!("variance solve failed: {e}")))?;
         let quad: f64 = k_star.iter().zip(&v).map(|(k, w)| k * w).sum();
         let var_t = (1.0 + self.noise - quad).max(0.0);
-        (
+        Ok((
             mean_t * self.y_scale + self.y_mean,
             var_t * self.y_scale * self.y_scale,
-        )
+        ))
     }
 
     /// The selected kernel lengthscale (standardized units).
@@ -197,6 +233,34 @@ mod tests {
         assert!(Gp::fit(&[], &[]).is_err());
         assert!(Gp::fit(&[vec![1.0]], &[1.0, 2.0]).is_err());
         assert!(Gp::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn duplicated_design_points_still_fit() {
+        // Identical rows make the noiseless kernel matrix singular;
+        // jitter escalation must recover a usable surrogate.
+        let xs = vec![vec![1.0, 2.0]; 12];
+        let ys = vec![3.0; 12];
+        let gp = Gp::fit(&xs, &ys).unwrap();
+        let (m, v) = gp.predict(&[1.0, 2.0]);
+        assert!((m - 3.0).abs() < 1e-3, "{m}");
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn nonfinite_training_data_is_rejected() {
+        assert!(Gp::fit(&[vec![f64::NAN]], &[1.0]).is_err());
+        assert!(Gp::fit(&[vec![1.0]], &[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn try_predict_reports_bad_queries() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let gp = Gp::fit(&xs, &ys).unwrap();
+        assert!(gp.try_predict(&[1.0, 2.0]).is_err());
+        assert!(gp.try_predict(&[f64::NAN]).is_err());
+        assert!(gp.try_predict(&[2.0]).is_ok());
     }
 
     #[test]

@@ -1,6 +1,26 @@
 //! Hypervolume computation (minimization) and exclusive contributions.
 
 use crate::pareto::pareto_front;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of objective vectors rejected for containing NaN
+/// or ±∞. Non-finite points cannot be ranked and would silently corrupt
+/// hypervolumes and fronts, so they are dropped — but never silently:
+/// every rejection increments this counter.
+static NONFINITE_WARNINGS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of non-finite objective vectors dropped by [`hypervolume`] /
+/// [`pareto_front`] since process start. A rising value signals a
+/// misbehaving objective function upstream.
+pub fn nonfinite_warnings() -> u64 {
+    NONFINITE_WARNINGS.load(Ordering::Relaxed)
+}
+
+/// Records one rejected point. Shared by the hypervolume and Pareto
+/// paths.
+pub(crate) fn note_nonfinite() {
+    NONFINITE_WARNINGS.fetch_add(1, Ordering::Relaxed);
+}
 
 /// Hypervolume dominated by `points` with respect to `reference`
 /// (minimization: the reference must be no better than every point in
@@ -26,10 +46,18 @@ pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
     for p in points {
         assert_eq!(p.len(), d, "objective dimension mismatch");
     }
-    // Clip to the reference box and drop non-contributing points.
+    // Reject non-finite points (−∞ coordinates would otherwise claim
+    // infinite volume; NaN would poison the sweeps), then clip to the
+    // reference box and drop non-contributing points.
     let clipped: Vec<Vec<f64>> = points
         .iter()
-        .filter(|p| p.iter().zip(reference).all(|(&x, &r)| x < r))
+        .filter(|p| {
+            if p.iter().any(|x| !x.is_finite()) {
+                note_nonfinite();
+                return false;
+            }
+            p.iter().zip(reference).all(|(&x, &r)| x < r)
+        })
         .cloned()
         .collect();
     if clipped.is_empty() {
@@ -70,7 +98,7 @@ fn wfg(front: &[Vec<f64>], reference: &[f64]) -> f64 {
 
 fn hv2(front: &[Vec<f64>], reference: &[f64]) -> f64 {
     let mut pts: Vec<(f64, f64)> = front.iter().map(|p| (p[0], p[1])).collect();
-    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite objectives"));
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
     let mut hv = 0.0;
     let mut prev_y = reference[1];
     for &(x, y) in &pts {
@@ -86,7 +114,7 @@ fn hv2(front: &[Vec<f64>], reference: &[f64]) -> f64 {
 /// slices.
 fn hv3(front: &[Vec<f64>], reference: &[f64]) -> f64 {
     let mut zs: Vec<f64> = front.iter().map(|p| p[2]).collect();
-    zs.sort_by(|a, b| a.partial_cmp(b).expect("finite objectives"));
+    zs.sort_by(f64::total_cmp);
     zs.dedup();
     zs.push(reference[2]);
     let mut hv = 0.0;
@@ -227,6 +255,24 @@ mod tests {
         let overlap = 0.5 * 0.5 * 0.5 * 0.5;
         let hv4 = hypervolume(&[a, b], &[1.0, 1.0, 1.0, 1.0]);
         assert!((hv4 - (va + vb - overlap)).abs() < 1e-12, "{hv4}");
+    }
+
+    #[test]
+    fn nonfinite_points_are_dropped_with_warning() {
+        let before = nonfinite_warnings();
+        let clean = hypervolume(&[vec![1.0, 1.0]], &[4.0, 4.0]);
+        let polluted = hypervolume(
+            &[
+                vec![1.0, 1.0],
+                vec![f64::NAN, 0.5],
+                vec![f64::NEG_INFINITY, 0.5],
+                vec![0.5, f64::INFINITY],
+            ],
+            &[4.0, 4.0],
+        );
+        assert!((clean - polluted).abs() < 1e-12, "{clean} vs {polluted}");
+        assert!(polluted.is_finite());
+        assert!(nonfinite_warnings() >= before + 3);
     }
 
     #[test]

@@ -30,17 +30,24 @@
 //! assert!(hv > 0.0);
 //! ```
 
+mod checkpoint;
 mod gp;
 mod hv;
 mod mbo;
 mod pareto;
+mod resilient;
 mod search;
 mod space;
 
+pub use checkpoint::CheckpointCodec;
 pub use gp::Gp;
-pub use hv::{exclusive_contributions, hypervolume};
-pub use mbo::{mbo, MboConfig, SearchResult};
+pub use hv::{exclusive_contributions, hypervolume, nonfinite_warnings};
+pub use mbo::{mbo, MboConfig, MboState, SearchResult};
 pub use pareto::{dominates, pareto_front};
+pub use resilient::{
+    mbo_resilient, mbo_resilient_checkpointed, QuarantineEntry, ResilienceConfig,
+    ResilientResult, StopReason,
+};
 pub use search::{nsga2, random_search, simulated_annealing, NsgaConfig, SaConfig};
 pub use space::{Configuration, DesignSpace};
 
@@ -59,6 +66,24 @@ pub enum DseError {
     },
     /// The surrogate model could not be fitted.
     Surrogate(String),
+    /// Evaluating one candidate failed (panic or non-finite objectives)
+    /// and the candidate was quarantined after bounded retries. The
+    /// stepping engine treats this as "skip the slot", not as a fatal
+    /// error.
+    Evaluation {
+        /// Why the candidate was rejected.
+        reason: String,
+    },
+    /// The run was stopped early by a resilience policy (budget,
+    /// deadline or failure limit). Carried as an error so it can unwind
+    /// out of a step; [`mbo_resilient`] converts it into a graceful
+    /// [`ResilientResult`].
+    Stopped(StopReason),
+    /// A checkpoint could not be parsed or is inconsistent.
+    Checkpoint {
+        /// Description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DseError {
@@ -66,6 +91,9 @@ impl fmt::Display for DseError {
         match self {
             DseError::BadObjectives { reason } => write!(f, "bad objectives: {reason}"),
             DseError::Surrogate(msg) => write!(f, "surrogate failure: {msg}"),
+            DseError::Evaluation { reason } => write!(f, "candidate evaluation failed: {reason}"),
+            DseError::Stopped(reason) => write!(f, "search stopped early: {reason:?}"),
+            DseError::Checkpoint { reason } => write!(f, "bad checkpoint: {reason}"),
         }
     }
 }

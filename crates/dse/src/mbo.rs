@@ -1,4 +1,12 @@
 //! Multi-objective Bayesian optimization (the paper's DSE method).
+//!
+//! The optimizer is an explicit-state machine, [`MboState`]: one
+//! [`MboState::step`] call performs either the initial random sampling
+//! phase or one acquisition iteration. [`mbo`] is the convenience driver
+//! that steps to completion; the stepping form exists so runs can be
+//! checkpointed between iterations (`MboState::to_checkpoint`) and
+//! survive candidate-evaluation failures
+//! ([`crate::mbo_resilient`]).
 
 use crate::gp::Gp;
 use crate::hv::hypervolume;
@@ -74,12 +82,217 @@ impl<C> SearchResult<C> {
     }
 }
 
-/// Runs multi-objective Bayesian optimization.
+/// Explicit, resumable state of an MBO run.
+///
+/// Drive it with [`MboState::step`] until [`MboState::is_complete`];
+/// between steps the state can be serialized with
+/// `MboState::to_checkpoint` and later restored bit-exactly (including
+/// the RNG stream position) with `MboState::from_checkpoint`.
+#[derive(Debug, Clone)]
+pub struct MboState<C> {
+    pub(crate) config: MboConfig,
+    pub(crate) rng: ChaCha8Rng,
+    pub(crate) evaluated: Vec<(C, Vec<f64>)>,
+    pub(crate) hv_trace: Vec<(usize, f64)>,
+    pub(crate) initial_done: bool,
+    pub(crate) iterations_done: usize,
+}
+
+impl<C: Clone> MboState<C> {
+    /// Creates the initial state for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::BadObjectives`] when the hypervolume
+    /// reference point is empty or contains non-finite coordinates.
+    pub fn new(config: &MboConfig) -> Result<MboState<C>> {
+        if config.reference.is_empty() {
+            return Err(DseError::BadObjectives {
+                reason: "empty hypervolume reference point".to_string(),
+            });
+        }
+        if config.reference.iter().any(|r| !r.is_finite()) {
+            return Err(DseError::BadObjectives {
+                reason: format!("non-finite reference point {:?}", config.reference),
+            });
+        }
+        Ok(MboState {
+            config: config.clone(),
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
+            evaluated: Vec::new(),
+            hv_trace: Vec::new(),
+            initial_done: false,
+            iterations_done: 0,
+        })
+    }
+
+    /// The configuration this run was started with.
+    pub fn config(&self) -> &MboConfig {
+        &self.config
+    }
+
+    /// Evaluated points so far, in evaluation order.
+    pub fn evaluated(&self) -> &[(C, Vec<f64>)] {
+        &self.evaluated
+    }
+
+    /// Iterations completed so far (excludes the initial phase).
+    pub fn iterations_done(&self) -> usize {
+        self.iterations_done
+    }
+
+    /// True once the initial phase and all iterations have run.
+    pub fn is_complete(&self) -> bool {
+        self.initial_done && self.iterations_done >= self.config.iterations
+    }
+
+    /// Consumes the state into a [`SearchResult`].
+    pub fn into_result(self) -> SearchResult<C> {
+        SearchResult {
+            evaluated: self.evaluated,
+            hv_trace: self.hv_trace,
+        }
+    }
+
+    /// Appends the hypervolume of the current evaluated set to the
+    /// trace. Called after each completed phase; also used by the
+    /// resilient driver to seal a partially completed batch.
+    pub(crate) fn push_hv(&mut self) {
+        let objs: Vec<Vec<f64>> = self.evaluated.iter().map(|(_, o)| o.clone()).collect();
+        self.hv_trace
+            .push((self.evaluated.len(), hypervolume(&objs, &self.config.reference)));
+    }
+
+    /// Evaluates one candidate through `evaluate` and records it.
+    ///
+    /// An [`DseError::Evaluation`] outcome means the candidate was
+    /// quarantined by a resilient evaluator: the slot is simply skipped.
+    /// Every other error propagates and aborts the step.
+    fn try_eval(
+        &mut self,
+        c: C,
+        evaluate: &mut impl FnMut(&C) -> Result<Vec<f64>>,
+    ) -> Result<()> {
+        match evaluate(&c) {
+            Ok(o) => {
+                if o.len() != self.config.reference.len() {
+                    return Err(DseError::BadObjectives {
+                        reason: format!(
+                            "objective dim {} vs reference dim {}",
+                            o.len(),
+                            self.config.reference.len()
+                        ),
+                    });
+                }
+                self.evaluated.push((c, o));
+                Ok(())
+            }
+            Err(DseError::Evaluation { .. }) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Advances the run by one phase: the initial random-sampling phase
+    /// on the first call, one acquisition iteration afterwards. No-op
+    /// when [`MboState::is_complete`].
+    ///
+    /// `evaluate` returns the objective vector for a candidate; a
+    /// [`DseError::Evaluation`] error quarantines that candidate (its
+    /// batch slot is skipped) while any other error aborts the step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::BadObjectives`] on objective-dimension
+    /// mismatches and propagates surrogate and evaluator failures.
+    pub fn step(
+        &mut self,
+        sample: &mut impl FnMut(&mut ChaCha8Rng) -> C,
+        encode: &impl Fn(&C) -> Vec<f64>,
+        evaluate: &mut impl FnMut(&C) -> Result<Vec<f64>>,
+    ) -> Result<()> {
+        let d = self.config.reference.len();
+        if !self.initial_done {
+            for _ in 0..self.config.initial_samples {
+                let c = sample(&mut self.rng);
+                self.try_eval(c, evaluate)?;
+            }
+            self.initial_done = true;
+            self.push_hv();
+            return Ok(());
+        }
+        if self.iterations_done >= self.config.iterations {
+            return Ok(());
+        }
+
+        // Surrogate: one GP per objective.
+        let xs: Vec<Vec<f64>> = self.evaluated.iter().map(|(c, _)| encode(c)).collect();
+        let mut gps = Vec::with_capacity(d);
+        for k in 0..d {
+            let ys: Vec<f64> = self.evaluated.iter().map(|(_, o)| o[k]).collect();
+            gps.push(Gp::fit(&xs, &ys)?);
+        }
+        // Acquisition: optimistic (LCB) predictions, ranked by exclusive
+        // HV contribution over the current true front. Selection is
+        // sequential-greedy: each pick's predicted point joins the
+        // working front so the batch spreads across the front instead of
+        // clustering on one spot.
+        let mut working: Vec<Vec<f64>> =
+            self.evaluated.iter().map(|(_, o)| o.clone()).collect();
+        let mut candidates: Vec<(Vec<f64>, C)> = (0..self.config.candidates)
+            .map(|_| {
+                let c = sample(&mut self.rng);
+                let x = encode(&c);
+                let pred: Vec<f64> = gps
+                    .iter()
+                    .map(|g| {
+                        let (mean, var) = g.predict(&x);
+                        mean - self.config.kappa * var.max(0.0).sqrt()
+                    })
+                    .collect();
+                (pred, c)
+            })
+            .collect();
+        let n_random =
+            ((self.config.batch as f64) * self.config.explore_fraction).round() as usize;
+        let n_guided = self.config.batch.saturating_sub(n_random).min(candidates.len());
+        for _ in 0..n_guided {
+            let base_hv = hypervolume(&working, &self.config.reference);
+            let best = candidates
+                .iter()
+                .enumerate()
+                .map(|(i, (pred, _))| {
+                    let mut with = working.clone();
+                    with.push(pred.clone());
+                    (i, hypervolume(&with, &self.config.reference) - base_hv)
+                })
+                // total_cmp: predictions can in principle go non-finite;
+                // NaN gains then sort low instead of panicking.
+                .max_by(|a, b| a.1.total_cmp(&b.1));
+            let Some((best_idx, _)) = best else { break };
+            let (pred, c) = candidates.swap_remove(best_idx);
+            working.push(pred);
+            self.try_eval(c, evaluate)?;
+        }
+        for _ in 0..self.config.batch - n_guided {
+            let c = sample(&mut self.rng);
+            self.try_eval(c, evaluate)?;
+        }
+        self.iterations_done += 1;
+        self.push_hv();
+        Ok(())
+    }
+}
+
+/// Runs multi-objective Bayesian optimization to completion.
 ///
 /// Each iteration fits one GP surrogate per objective on the evaluated
 /// set, scores `candidates` random configurations by the **exclusive
 /// hypervolume contribution** of their predicted objective vectors, and
 /// truly evaluates the `batch` top-ranked ones.
+///
+/// This driver assumes an infallible objective; see
+/// [`crate::mbo_resilient`] for the failure-isolated variant and
+/// [`MboState`] for manual stepping with checkpoints.
 ///
 /// # Errors
 ///
@@ -92,93 +305,12 @@ pub fn mbo<C: Clone>(
     encode: impl Fn(&C) -> Vec<f64>,
     mut objective: impl FnMut(&C) -> Vec<f64>,
 ) -> Result<SearchResult<C>> {
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let d = config.reference.len();
-    let mut evaluated: Vec<(C, Vec<f64>)> = Vec::new();
-    let mut hv_trace = Vec::new();
-
-    let mut eval = |c: C, evaluated: &mut Vec<(C, Vec<f64>)>| -> Result<()> {
-        let o = objective(&c);
-        if o.len() != d {
-            return Err(DseError::BadObjectives {
-                reason: format!("objective dim {} vs reference dim {d}", o.len()),
-            });
-        }
-        evaluated.push((c, o));
-        Ok(())
-    };
-
-    for _ in 0..config.initial_samples {
-        let c = sample(&mut rng);
-        eval(c, &mut evaluated)?;
+    let mut state = MboState::new(config)?;
+    let mut evaluate = |c: &C| -> Result<Vec<f64>> { Ok(objective(c)) };
+    while !state.is_complete() {
+        state.step(&mut sample, &encode, &mut evaluate)?;
     }
-    let objs_of = |evaluated: &[(C, Vec<f64>)]| -> Vec<Vec<f64>> {
-        evaluated.iter().map(|(_, o)| o.clone()).collect()
-    };
-    hv_trace.push((
-        evaluated.len(),
-        hypervolume(&objs_of(&evaluated), &config.reference),
-    ));
-
-    for _ in 0..config.iterations {
-        // Surrogate: one GP per objective.
-        let xs: Vec<Vec<f64>> = evaluated.iter().map(|(c, _)| encode(c)).collect();
-        let mut gps = Vec::with_capacity(d);
-        for k in 0..d {
-            let ys: Vec<f64> = evaluated.iter().map(|(_, o)| o[k]).collect();
-            gps.push(Gp::fit(&xs, &ys)?);
-        }
-        // Acquisition: optimistic (LCB) predictions, ranked by exclusive
-        // HV contribution over the current true front. Selection is
-        // sequential-greedy: each pick's predicted point joins the
-        // working front so the batch spreads across the front instead of
-        // clustering on one spot.
-        let mut working = objs_of(&evaluated);
-        let mut candidates: Vec<(Vec<f64>, C)> = (0..config.candidates)
-            .map(|_| {
-                let c = sample(&mut rng);
-                let x = encode(&c);
-                let pred: Vec<f64> = gps
-                    .iter()
-                    .map(|g| {
-                        let (mean, var) = g.predict(&x);
-                        mean - config.kappa * var.max(0.0).sqrt()
-                    })
-                    .collect();
-                (pred, c)
-            })
-            .collect();
-        let n_random = ((config.batch as f64) * config.explore_fraction).round() as usize;
-        let n_guided = config.batch.saturating_sub(n_random).min(candidates.len());
-        for _ in 0..n_guided {
-            let base_hv = hypervolume(&working, &config.reference);
-            let (best_idx, _) = candidates
-                .iter()
-                .enumerate()
-                .map(|(i, (pred, _))| {
-                    let mut with = working.clone();
-                    with.push(pred.clone());
-                    (i, hypervolume(&with, &config.reference) - base_hv)
-                })
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite gains"))
-                .expect("non-empty candidate set");
-            let (pred, c) = candidates.swap_remove(best_idx);
-            working.push(pred);
-            eval(c, &mut evaluated)?;
-        }
-        for _ in 0..config.batch - n_guided {
-            let c = sample(&mut rng);
-            eval(c, &mut evaluated)?;
-        }
-        hv_trace.push((
-            evaluated.len(),
-            hypervolume(&objs_of(&evaluated), &config.reference),
-        ));
-    }
-    Ok(SearchResult {
-        evaluated,
-        hv_trace,
-    })
+    Ok(state.into_result())
 }
 
 #[cfg(test)]
@@ -261,5 +393,41 @@ mod tests {
         let a = mbo(&config, toy_sample, |c| c.clone(), toy_objective).unwrap();
         let b = mbo(&config, toy_sample, |c| c.clone(), toy_objective).unwrap();
         assert_eq!(a.hv_trace, b.hv_trace);
+    }
+
+    #[test]
+    fn stepping_matches_one_shot_run() {
+        let config = MboConfig {
+            initial_samples: 6,
+            iterations: 3,
+            batch: 3,
+            candidates: 10,
+            reference: vec![1.5, 1.5],
+            kappa: 1.0,
+            explore_fraction: 0.1,
+            seed: 9,
+        };
+        let oneshot = mbo(&config, toy_sample, |c| c.clone(), toy_objective).unwrap();
+        let mut state = MboState::new(&config).unwrap();
+        let mut sample = toy_sample;
+        let encode = |c: &Vec<f64>| c.clone();
+        let mut evaluate = |c: &Vec<f64>| Ok(toy_objective(c));
+        let mut steps = 0;
+        while !state.is_complete() {
+            state.step(&mut sample, &encode, &mut evaluate).unwrap();
+            steps += 1;
+        }
+        assert_eq!(steps, 1 + config.iterations);
+        let stepped = state.into_result();
+        assert_eq!(stepped.hv_trace, oneshot.hv_trace);
+        assert_eq!(stepped.evaluated.len(), oneshot.evaluated.len());
+    }
+
+    #[test]
+    fn invalid_reference_is_rejected() {
+        let empty = MboConfig { reference: vec![], ..MboConfig::default() };
+        assert!(MboState::<Vec<f64>>::new(&empty).is_err());
+        let nan = MboConfig { reference: vec![1.0, f64::NAN], ..MboConfig::default() };
+        assert!(MboState::<Vec<f64>>::new(&nan).is_err());
     }
 }

@@ -21,14 +21,28 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
 
 /// Indices of the non-dominated points, in input order.
 ///
-/// Duplicate points are all kept (none dominates the other).
+/// Duplicate points are all kept (none dominates the other). Points
+/// with NaN or ±∞ coordinates cannot be ranked: they are excluded from
+/// the front (and from dominating anything), and each exclusion bumps
+/// the [`crate::nonfinite_warnings`] counter.
 pub fn pareto_front(points: &[Vec<f64>]) -> Vec<usize> {
+    let finite: Vec<bool> = points
+        .iter()
+        .map(|p| {
+            let ok = p.iter().all(|x| x.is_finite());
+            if !ok {
+                crate::hv::note_nonfinite();
+            }
+            ok
+        })
+        .collect();
     (0..points.len())
         .filter(|&i| {
-            !points
-                .iter()
-                .enumerate()
-                .any(|(j, p)| j != i && dominates(p, &points[i]))
+            finite[i]
+                && !points
+                    .iter()
+                    .enumerate()
+                    .any(|(j, p)| j != i && finite[j] && dominates(p, &points[i]))
         })
         .collect()
 }
@@ -67,5 +81,18 @@ mod tests {
     fn single_point_is_front() {
         assert_eq!(pareto_front(&[vec![3.0, 3.0]]), vec![0]);
         assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn nonfinite_points_never_enter_the_front() {
+        let pts = vec![
+            vec![f64::NAN, 0.0],
+            vec![1.0, 1.0],
+            vec![f64::NEG_INFINITY, f64::NEG_INFINITY],
+            vec![2.0, 0.5],
+        ];
+        // The −∞ point would otherwise dominate everything; the NaN
+        // point would otherwise survive as "incomparable".
+        assert_eq!(pareto_front(&pts), vec![1, 3]);
     }
 }

@@ -1,0 +1,404 @@
+//! Failure-isolated MBO driving.
+//!
+//! Objective functions in a cross-layer flow call into synthesis,
+//! simulation and characterization code; a single panicking or
+//! NaN-producing candidate should cost one batch slot, not the whole
+//! run. [`mbo_resilient`] wraps candidate evaluation in
+//! `catch_unwind`, retries flaky candidates a bounded number of times,
+//! quarantines persistent failures, and enforces an evaluation budget /
+//! wall-clock deadline — always returning the best result computed so
+//! far together with a [`StopReason`].
+
+use crate::checkpoint::CheckpointCodec;
+use crate::mbo::{MboConfig, MboState, SearchResult};
+use crate::{DseError, Result};
+use rand_chacha::ChaCha8Rng;
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Failure-isolation policy for [`mbo_resilient`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    /// Extra attempts per candidate after its first failed evaluation
+    /// (covers flaky, non-deterministic objectives). `0` quarantines on
+    /// the first failure.
+    pub max_retries_per_candidate: usize,
+    /// Total failed evaluation attempts across the run before the
+    /// search stops with [`StopReason::FailureLimit`].
+    pub max_total_failures: usize,
+    /// Cap on successful true evaluations; when reached the run stops
+    /// with [`StopReason::EvaluationBudget`]. `None` disables.
+    pub max_evaluations: Option<usize>,
+    /// Wall-clock deadline for the run; checked before every
+    /// evaluation. `None` disables.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            max_retries_per_candidate: 1,
+            max_total_failures: 32,
+            max_evaluations: None,
+            deadline: None,
+        }
+    }
+}
+
+/// Why a resilient run returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// All configured iterations ran.
+    Completed,
+    /// The evaluation budget was exhausted.
+    EvaluationBudget,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// Too many candidate evaluations failed.
+    FailureLimit,
+}
+
+/// A candidate whose evaluation kept failing and was excluded from the
+/// search.
+#[derive(Debug, Clone)]
+pub struct QuarantineEntry<C> {
+    /// The rejected candidate.
+    pub candidate: C,
+    /// Evaluation attempts spent on it.
+    pub attempts: usize,
+    /// The final failure: panic message or a description of the
+    /// non-finite objective vector.
+    pub reason: String,
+}
+
+/// Outcome of [`mbo_resilient`]: the search result plus the failure
+/// ledger.
+#[derive(Debug, Clone)]
+pub struct ResilientResult<C> {
+    /// Evaluated points and hypervolume trace (possibly shorter than a
+    /// fault-free run if slots were skipped or the run stopped early).
+    pub result: SearchResult<C>,
+    /// Why the run returned.
+    pub stop_reason: StopReason,
+    /// Candidates excluded after exhausting their retries.
+    pub quarantined: Vec<QuarantineEntry<C>>,
+    /// Successful true evaluations.
+    pub evaluations: usize,
+    /// Failed evaluation attempts (each retry counts).
+    pub failures: usize,
+}
+
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("objective panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("objective panicked: {s}")
+    } else {
+        "objective panicked with a non-string payload".to_string()
+    }
+}
+
+fn drive<C: Clone>(
+    config: &MboConfig,
+    resilience: &ResilienceConfig,
+    mut sample: impl FnMut(&mut ChaCha8Rng) -> C,
+    encode: impl Fn(&C) -> Vec<f64>,
+    objective: impl FnMut(&C) -> Vec<f64>,
+    mut between_steps: impl FnMut(&MboState<C>),
+) -> Result<ResilientResult<C>> {
+    let start = Instant::now();
+    let objective = RefCell::new(objective);
+    let evaluations = Cell::new(0usize);
+    let failures = Cell::new(0usize);
+    let quarantined: RefCell<Vec<QuarantineEntry<C>>> = RefCell::new(Vec::new());
+
+    let mut evaluate = |c: &C| -> Result<Vec<f64>> {
+        if let Some(max) = resilience.max_evaluations {
+            if evaluations.get() >= max {
+                return Err(DseError::Stopped(StopReason::EvaluationBudget));
+            }
+        }
+        if let Some(deadline) = resilience.deadline {
+            if start.elapsed() >= deadline {
+                return Err(DseError::Stopped(StopReason::Deadline));
+            }
+        }
+        let attempts = resilience.max_retries_per_candidate + 1;
+        let mut last_reason = String::new();
+        for attempt in 1..=attempts {
+            let outcome = catch_unwind(AssertUnwindSafe(|| (objective.borrow_mut())(c)));
+            match outcome {
+                Ok(o) if o.iter().all(|v| v.is_finite()) => {
+                    evaluations.set(evaluations.get() + 1);
+                    return Ok(o);
+                }
+                Ok(o) => {
+                    last_reason = format!("non-finite objective vector {o:?}");
+                }
+                Err(payload) => {
+                    last_reason = panic_reason(payload);
+                }
+            }
+            failures.set(failures.get() + 1);
+            if failures.get() >= resilience.max_total_failures {
+                quarantined.borrow_mut().push(QuarantineEntry {
+                    candidate: c.clone(),
+                    attempts: attempt,
+                    reason: last_reason,
+                });
+                return Err(DseError::Stopped(StopReason::FailureLimit));
+            }
+        }
+        quarantined.borrow_mut().push(QuarantineEntry {
+            candidate: c.clone(),
+            attempts,
+            reason: last_reason.clone(),
+        });
+        Err(DseError::Evaluation { reason: last_reason })
+    };
+
+    let mut state = MboState::new(config)?;
+    let stop_reason = loop {
+        if state.is_complete() {
+            break StopReason::Completed;
+        }
+        match state.step(&mut sample, &encode, &mut evaluate) {
+            Ok(()) => between_steps(&state),
+            Err(DseError::Stopped(reason)) => {
+                // The step aborted mid-batch; seal the trace so the
+                // result reports the hypervolume actually reached.
+                if state.hv_trace.last().map(|&(n, _)| n) != Some(state.evaluated.len()) {
+                    state.push_hv();
+                }
+                break reason;
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    Ok(ResilientResult {
+        result: state.into_result(),
+        stop_reason,
+        quarantined: quarantined.into_inner(),
+        evaluations: evaluations.get(),
+        failures: failures.get(),
+    })
+}
+
+/// Failure-isolated multi-objective Bayesian optimization.
+///
+/// Semantics match [`crate::mbo`] except that each candidate evaluation
+/// runs under `catch_unwind`: a panic or a non-finite objective vector
+/// is retried up to `resilience.max_retries_per_candidate` times and
+/// then quarantined (the batch slot is skipped). The run also stops
+/// gracefully on an evaluation budget, a wall-clock deadline, or an
+/// accumulated failure limit, returning everything evaluated so far.
+///
+/// # Errors
+///
+/// Returns [`DseError::BadObjectives`] for configuration problems and
+/// propagates surrogate failures. Candidate failures never surface as
+/// errors; they land in [`ResilientResult::quarantined`].
+pub fn mbo_resilient<C: Clone>(
+    config: &MboConfig,
+    resilience: &ResilienceConfig,
+    sample: impl FnMut(&mut ChaCha8Rng) -> C,
+    encode: impl Fn(&C) -> Vec<f64>,
+    objective: impl FnMut(&C) -> Vec<f64>,
+) -> Result<ResilientResult<C>> {
+    drive(config, resilience, sample, encode, objective, |_| {})
+}
+
+/// [`mbo_resilient`] with periodic checkpointing: after every
+/// `checkpoint_every` completed iterations (and after the initial
+/// phase), the serialized [`MboState`] JSON is handed to
+/// `on_checkpoint`. Feed the latest string back through
+/// `MboState::from_checkpoint` to resume a crashed run deterministically.
+///
+/// # Errors
+///
+/// See [`mbo_resilient`].
+///
+/// # Panics
+///
+/// Panics if `checkpoint_every` is zero.
+pub fn mbo_resilient_checkpointed<C: Clone + CheckpointCodec>(
+    config: &MboConfig,
+    resilience: &ResilienceConfig,
+    checkpoint_every: usize,
+    mut on_checkpoint: impl FnMut(&str),
+    sample: impl FnMut(&mut ChaCha8Rng) -> C,
+    encode: impl Fn(&C) -> Vec<f64>,
+    objective: impl FnMut(&C) -> Vec<f64>,
+) -> Result<ResilientResult<C>> {
+    assert!(checkpoint_every > 0, "checkpoint_every must be at least 1");
+    drive(config, resilience, sample, encode, objective, |state| {
+        let after_initial = state.iterations_done() == 0;
+        if after_initial || state.iterations_done() % checkpoint_every == 0 {
+            on_checkpoint(&state.to_checkpoint());
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn toy_objective(c: &Vec<f64>) -> Vec<f64> {
+        let x = (c[0] + c[1]) / 2.0;
+        vec![x, (1.0 - x) * (1.0 - x) + 0.05 * (c[0] - c[1]).abs()]
+    }
+
+    fn toy_sample(rng: &mut ChaCha8Rng) -> Vec<f64> {
+        vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]
+    }
+
+    fn small_config(seed: u64) -> MboConfig {
+        MboConfig {
+            initial_samples: 8,
+            iterations: 3,
+            batch: 4,
+            candidates: 15,
+            reference: vec![1.5, 1.5],
+            kappa: 1.0,
+            explore_fraction: 0.1,
+            seed,
+        }
+    }
+
+    #[test]
+    fn clean_run_completes_and_matches_plain_mbo() {
+        let config = small_config(5);
+        let plain = crate::mbo(&config, toy_sample, |c| c.clone(), toy_objective).unwrap();
+        let resilient = mbo_resilient(
+            &config,
+            &ResilienceConfig::default(),
+            toy_sample,
+            |c| c.clone(),
+            toy_objective,
+        )
+        .unwrap();
+        assert_eq!(resilient.stop_reason, StopReason::Completed);
+        assert!(resilient.quarantined.is_empty());
+        assert_eq!(resilient.failures, 0);
+        assert_eq!(resilient.result.hv_trace, plain.hv_trace);
+    }
+
+    #[test]
+    fn panicking_candidate_is_quarantined_not_fatal() {
+        let config = small_config(7);
+        let mut calls = 0usize;
+        let result = mbo_resilient(
+            &config,
+            &ResilienceConfig::default(),
+            toy_sample,
+            |c| c.clone(),
+            move |c: &Vec<f64>| {
+                calls += 1;
+                if calls == 3 {
+                    panic!("synthetic failure on call 3");
+                }
+                toy_objective(c)
+            },
+        )
+        .unwrap();
+        assert_eq!(result.stop_reason, StopReason::Completed);
+        assert_eq!(result.quarantined.len(), 0); // retry succeeded
+        assert_eq!(result.failures, 1);
+        // One retry consumed; every slot still filled.
+        assert_eq!(
+            result.result.evaluated.len(),
+            config.initial_samples + config.iterations * config.batch
+        );
+    }
+
+    #[test]
+    fn persistently_nan_candidate_is_skipped() {
+        let config = small_config(13);
+        // Candidates in the "poison" corner always produce NaN.
+        let poison = |c: &Vec<f64>| c[0] < 0.25 && c[1] < 0.25;
+        let result = mbo_resilient(
+            &config,
+            &ResilienceConfig { max_total_failures: 1000, ..ResilienceConfig::default() },
+            toy_sample,
+            |c| c.clone(),
+            move |c: &Vec<f64>| {
+                if poison(c) {
+                    vec![f64::NAN, f64::NAN]
+                } else {
+                    toy_objective(c)
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(result.stop_reason, StopReason::Completed);
+        assert!(result.result.evaluated.iter().all(|(c, _)| !poison(c)));
+        assert!(result
+            .result
+            .evaluated
+            .iter()
+            .all(|(_, o)| o.iter().all(|v| v.is_finite())));
+        assert_eq!(
+            result.result.evaluated.len() + result.quarantined.len(),
+            config.initial_samples + config.iterations * config.batch
+        );
+    }
+
+    #[test]
+    fn failure_limit_stops_gracefully() {
+        let config = small_config(21);
+        let result = mbo_resilient(
+            &config,
+            &ResilienceConfig {
+                max_retries_per_candidate: 0,
+                max_total_failures: 3,
+                ..ResilienceConfig::default()
+            },
+            toy_sample,
+            |c| c.clone(),
+            |_c: &Vec<f64>| panic!("always fails"),
+        )
+        .unwrap();
+        assert_eq!(result.stop_reason, StopReason::FailureLimit);
+        assert_eq!(result.failures, 3);
+        assert!(result.result.evaluated.is_empty());
+    }
+
+    #[test]
+    fn evaluation_budget_is_enforced() {
+        let config = small_config(2);
+        let result = mbo_resilient(
+            &config,
+            &ResilienceConfig { max_evaluations: Some(5), ..ResilienceConfig::default() },
+            toy_sample,
+            |c| c.clone(),
+            toy_objective,
+        )
+        .unwrap();
+        assert_eq!(result.stop_reason, StopReason::EvaluationBudget);
+        assert_eq!(result.evaluations, 5);
+        assert_eq!(result.result.evaluated.len(), 5);
+        // The trace is sealed at the stopping point.
+        assert_eq!(result.result.hv_trace.last().map(|&(n, _)| n), Some(5));
+    }
+
+    #[test]
+    fn zero_deadline_stops_immediately() {
+        let config = small_config(2);
+        let result = mbo_resilient(
+            &config,
+            &ResilienceConfig {
+                deadline: Some(Duration::from_secs(0)),
+                ..ResilienceConfig::default()
+            },
+            toy_sample,
+            |c| c.clone(),
+            toy_objective,
+        )
+        .unwrap();
+        assert_eq!(result.stop_reason, StopReason::Deadline);
+        assert!(result.result.evaluated.is_empty());
+    }
+}

@@ -194,7 +194,9 @@ mod ordered_float {
 
     impl Ord for NotNanF64 {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.partial_cmp(&other.0).expect("NaN clamped at construction")
+            // total_cmp keeps this panic-free even if a NaN slips past
+            // construction clamping.
+            self.0.total_cmp(&other.0)
         }
     }
 }
@@ -228,15 +230,12 @@ fn rank_and_crowd<C>(pop: &[(C, Vec<f64>)]) -> (Vec<usize>, Vec<f64>) {
         let members: Vec<usize> = (0..n).filter(|&i| ranks[i] == r).collect();
         for k in 0..d {
             let mut sorted = members.clone();
-            sorted.sort_by(|&a, &b| {
-                pop[a].1[k]
-                    .partial_cmp(&pop[b].1[k])
-                    .expect("finite objectives")
-            });
+            sorted.sort_by(|&a, &b| pop[a].1[k].total_cmp(&pop[b].1[k]));
+            let Some(&last) = sorted.last() else { continue };
             let lo = pop[sorted[0]].1[k];
-            let hi = pop[*sorted.last().expect("non-empty front")].1[k];
+            let hi = pop[last].1[k];
             crowding[sorted[0]] = f64::INFINITY;
-            crowding[*sorted.last().expect("non-empty front")] = f64::INFINITY;
+            crowding[last] = f64::INFINITY;
             if hi > lo {
                 for w in sorted.windows(3) {
                     crowding[w[1]] += (pop[w[2]].1[k] - pop[w[0]].1[k]) / (hi - lo);
@@ -352,7 +351,7 @@ mod tests {
 
     fn toy_mutate(c: &mut Vec<f64>, rng: &mut ChaCha8Rng) {
         let i = rng.gen_range(0..c.len());
-        c[i] = (c[i] + rng.gen_range(-0.2..0.2)).clamp(0.0, 1.0);
+        c[i] = (c[i] + rng.gen_range(-0.2f64..0.2)).clamp(0.0, 1.0);
     }
 
     #[test]

@@ -266,7 +266,7 @@ pub fn best_curve_fits(m: &dyn Mul8s, top_k: usize, config: &LmConfig) -> Result
     for (dist, _ks) in ranked.into_iter().take(top_k) {
         fits.push(fit_multiplier_surface(m, dist.kind(), config)?);
     }
-    fits.sort_by(|a, b| a.sse.partial_cmp(&b.sse).expect("finite SSE"));
+    fits.sort_by(|a, b| a.sse.total_cmp(&b.sse));
     Ok(fits)
 }
 

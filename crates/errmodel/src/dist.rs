@@ -80,7 +80,7 @@ impl Dist {
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
         let sd = var.sqrt().max(1e-12);
         let mut sorted: Vec<f64> = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let quantile = |q: f64| -> f64 {
             let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
             sorted[idx]
@@ -188,7 +188,7 @@ impl Dist {
 pub fn ks_statistic(dist: &Dist, samples: &[f64]) -> f64 {
     assert!(!samples.is_empty());
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len() as f64;
     let mut d = 0.0f64;
     for (i, &x) in sorted.iter().enumerate() {
@@ -215,7 +215,7 @@ pub fn rank_distributions(samples: &[f64]) -> Vec<(Dist, f64)> {
             (d, ks)
         })
         .collect();
-    fits.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite KS"));
+    fits.sort_by(|a, b| a.1.total_cmp(&b.1));
     fits
 }
 

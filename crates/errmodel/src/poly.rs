@@ -319,11 +319,7 @@ pub fn rank_terms(models: &[&PrModel]) -> Vec<usize> {
         }
     }
     let mut order: Vec<usize> = (0..terms.len()).collect();
-    order.sort_by(|&a, &b| {
-        importance[b]
-            .partial_cmp(&importance[a])
-            .expect("finite importance")
-    });
+    order.sort_by(|&a, &b| importance[b].total_cmp(&importance[a]));
     order
 }
 

@@ -60,6 +60,56 @@ impl Cholesky {
         Ok(Cholesky { l })
     }
 
+    /// Factors `a + jitter·I`, escalating the jitter by ×10 on each
+    /// failed attempt until the factorization succeeds or `max_attempts`
+    /// is exhausted. Returns the factorization together with the jitter
+    /// that made it succeed (`0.0` when `a` factors as-is: the first
+    /// attempt adds nothing).
+    ///
+    /// This is the standard remedy for numerically semi-definite kernel
+    /// matrices — e.g. a GP kernel over duplicated or near-duplicate
+    /// design points — where a fixed nugget is either too small to help
+    /// or large enough to distort well-conditioned problems.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaError::DimensionMismatch`] if `a` is not square and
+    /// [`LaError::NotPositiveDefinite`] if every attempted jitter fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero or `initial_jitter` is not a
+    /// positive finite number.
+    pub fn factor_with_jitter(
+        a: &Mat,
+        initial_jitter: f64,
+        max_attempts: usize,
+    ) -> Result<(Cholesky, f64)> {
+        assert!(max_attempts >= 1, "need at least one attempt");
+        assert!(
+            initial_jitter.is_finite() && initial_jitter > 0.0,
+            "initial jitter must be positive and finite"
+        );
+        match Cholesky::factor(a) {
+            Ok(ch) => return Ok((ch, 0.0)),
+            Err(e @ LaError::DimensionMismatch { .. }) => return Err(e),
+            Err(_) => {}
+        }
+        let n = a.rows();
+        let mut jitter = initial_jitter;
+        for _ in 0..max_attempts {
+            let mut damped = a.clone();
+            for i in 0..n {
+                damped[(i, i)] += jitter;
+            }
+            if let Ok(ch) = Cholesky::factor(&damped) {
+                return Ok((ch, jitter));
+            }
+            jitter *= 10.0;
+        }
+        Err(LaError::NotPositiveDefinite)
+    }
+
     /// Borrows the lower-triangular factor `L`.
     pub fn l(&self) -> &Mat {
         &self.l
@@ -152,6 +202,38 @@ mod tests {
             Cholesky::factor(&a),
             Err(LaError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn jitter_is_zero_for_well_conditioned_input() {
+        let a = Mat::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let (_, jitter) = Cholesky::factor_with_jitter(&a, 1e-10, 8).unwrap();
+        assert_eq!(jitter, 0.0);
+    }
+
+    #[test]
+    fn jitter_escalates_until_factorable() {
+        // Rank-1 Gram matrix (duplicate design points): singular, so
+        // plain factorization fails but any positive jitter repairs it.
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(Cholesky::factor(&a).is_err());
+        let (ch, jitter) = Cholesky::factor_with_jitter(&a, 1e-10, 12).unwrap();
+        assert!(jitter >= 1e-10);
+        let x = ch.solve(&[1.0, 1.0]).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn jitter_gives_up_after_max_attempts() {
+        // −I needs jitter > 1 to become positive definite; with a tiny
+        // start and few attempts the escalation cannot reach it.
+        let a = Mat::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]);
+        assert!(matches!(
+            Cholesky::factor_with_jitter(&a, 1e-12, 3),
+            Err(LaError::NotPositiveDefinite)
+        ));
+        // With enough attempts the ×10 ladder crosses the threshold.
+        assert!(Cholesky::factor_with_jitter(&a, 1e-12, 16).is_ok());
     }
 
     #[test]

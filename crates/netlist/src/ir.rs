@@ -15,6 +15,14 @@ impl SignalId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds a signal id from a raw index. Needed to address fault
+    /// sites by position; operations that consume the id validate it
+    /// against the target netlist and report out-of-range indices as
+    /// [`crate::NetlistError::InvalidFaultSite`].
+    pub fn from_index(index: usize) -> SignalId {
+        SignalId(index as u32)
+    }
 }
 
 /// A combinational gate. The variants cover the standard cell library the

@@ -37,6 +37,7 @@
 
 pub mod bdd;
 pub mod bus;
+mod fault;
 mod ir;
 mod map;
 mod opt;
@@ -46,6 +47,7 @@ mod synth;
 mod timing;
 pub mod verilog;
 
+pub use fault::{CampaignReport, Fault, FaultKind, FaultSet, FaultSiteReport};
 pub use ir::{Gate, Netlist, SignalId};
 pub use map::{map_luts, MapStrategy, MappedLut, MappedNetlist};
 pub use opt::optimize;
@@ -80,6 +82,13 @@ pub enum NetlistError {
         /// The configured node limit.
         limit: usize,
     },
+    /// A fault referenced a signal outside the netlist.
+    InvalidFaultSite {
+        /// The out-of-range signal index.
+        index: usize,
+        /// Number of signals in the netlist.
+        signals: usize,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -96,6 +105,9 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::BddLimit { limit } => {
                 write!(f, "BDD node budget of {limit} exhausted")
+            }
+            NetlistError::InvalidFaultSite { index, signals } => {
+                write!(f, "fault site {index} outside netlist with {signals} signals")
             }
         }
     }

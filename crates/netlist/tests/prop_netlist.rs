@@ -3,7 +3,7 @@
 //! backend must agree with simulation.
 
 use clapped_netlist::bdd::{check_equivalence, BddManager, Equivalence};
-use clapped_netlist::{bus, map_luts, optimize, MapStrategy, Netlist};
+use clapped_netlist::{bus, map_luts, optimize, FaultKind, FaultSet, MapStrategy, Netlist, SignalId};
 use proptest::prelude::*;
 
 /// Builds a random DAG of gates over `n_inputs` inputs from an opcode
@@ -120,3 +120,63 @@ proptest! {
 }
 
 
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fault-injection evaluator with an empty fault set is
+    /// bit-identical to the fault-free simulator on random logic and
+    /// random stimulus — injection masks must be pure overlays.
+    #[test]
+    fn zero_fault_campaign_is_bit_identical(
+        ops in proptest::collection::vec(any::<u8>(), 4..60),
+        words in proptest::collection::vec(any::<u64>(), 4),
+    ) {
+        let n = random_netlist(4, &ops);
+        let plain = n.eval_words(&words).expect("evaluates");
+        let faulted = n
+            .eval_words_with_faults(&words, &FaultSet::empty())
+            .expect("evaluates");
+        prop_assert_eq!(plain, faulted);
+        let out_plain = n.simulate_words(&words).expect("simulates");
+        let out_faulted = n
+            .simulate_words_with_faults(&words, &FaultSet::empty())
+            .expect("simulates");
+        prop_assert_eq!(out_plain, out_faulted);
+    }
+
+    /// A transient bit-flip applied twice on the same lanes cancels out:
+    /// XOR masks compose within a fault set.
+    #[test]
+    fn double_transient_flip_is_identity(
+        ops in proptest::collection::vec(any::<u8>(), 4..40),
+        words in proptest::collection::vec(any::<u64>(), 4),
+        target in any::<u8>(),
+        lanes in any::<u64>(),
+    ) {
+        let n = random_netlist(4, &ops);
+        let sig = SignalId::from_index(target as usize % n.len());
+        let twice = FaultSet::empty().transient(sig, lanes).transient(sig, lanes);
+        let plain = n.eval_words(&words).expect("evaluates");
+        let faulted = n.eval_words_with_faults(&words, &twice).expect("evaluates");
+        prop_assert_eq!(plain, faulted);
+    }
+
+    /// A stuck-at fault on net s forces s to the stuck value in every
+    /// lane, regardless of the surrounding logic.
+    #[test]
+    fn stuck_at_forces_value_on_random_logic(
+        ops in proptest::collection::vec(any::<u8>(), 4..40),
+        words in proptest::collection::vec(any::<u64>(), 4),
+        target in any::<u8>(),
+        polarity in any::<bool>(),
+    ) {
+        let n = random_netlist(4, &ops);
+        let idx = target as usize % n.len();
+        let kind = if polarity { FaultKind::StuckAt1 } else { FaultKind::StuckAt0 };
+        let set = FaultSet::empty().stuck_at(SignalId::from_index(idx), kind);
+        let vals = n.eval_words_with_faults(&words, &set).expect("evaluates");
+        let expected = if polarity { !0u64 } else { 0u64 };
+        prop_assert_eq!(vals[idx], expected);
+    }
+}

@@ -1,0 +1,199 @@
+//! Offline ChaCha-based generators for the vendored `rand` subset.
+//!
+//! Implements a genuine ChaCha core (the full quarter-round/double-round
+//! schedule) with 8, 12 and 20-round variants. Streams are deterministic
+//! and self-consistent but not bit-compatible with the upstream
+//! `rand_chacha` crate; nothing in this workspace depends on upstream
+//! streams.
+//!
+//! Beyond the upstream API subset (`RngCore`, `SeedableRng`), the
+//! generators expose [`ChaChaRng::get_seed`], [`ChaChaRng::get_word_pos`]
+//! and [`ChaChaRng::set_word_pos`], which the DSE checkpoint/resume
+//! machinery uses to serialize RNG state exactly.
+
+use rand::{RngCore, SeedableRng};
+
+/// Words per ChaCha block.
+const BLOCK_WORDS: usize = 16;
+
+/// A ChaCha generator with `R` double-rounds (so `ChaChaRng<4>` is
+/// ChaCha8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaChaRng<const R: usize> {
+    seed: [u8; 32],
+    /// Block counter of the *next* block to generate.
+    counter: u64,
+    buf: [u32; BLOCK_WORDS],
+    /// Next unread word index in `buf`; `BLOCK_WORDS` means empty.
+    index: usize,
+}
+
+/// ChaCha with 8 rounds (4 double-rounds): the workspace's workhorse RNG.
+pub type ChaCha8Rng = ChaChaRng<4>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<6>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const R: usize> ChaChaRng<R> {
+    fn block(&self, counter: u64) -> [u32; BLOCK_WORDS] {
+        let mut state = [0u32; BLOCK_WORDS];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(
+                self.seed[4 * i..4 * i + 4].try_into().expect("4-byte chunk"),
+            );
+        }
+        state[12] = counter as u32;
+        state[13] = (counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let mut working = state;
+        for _ in 0..R {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (w, s) in working.iter_mut().zip(state) {
+            *w = w.wrapping_add(s);
+        }
+        working
+    }
+
+    fn refill(&mut self) {
+        self.buf = self.block(self.counter);
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    /// The 32-byte seed this generator was constructed from.
+    pub fn get_seed(&self) -> [u8; 32] {
+        self.seed
+    }
+
+    /// Absolute position in the keystream, counted in 32-bit words.
+    pub fn get_word_pos(&self) -> u128 {
+        let blocks_done = if self.index == BLOCK_WORDS {
+            u128::from(self.counter)
+        } else {
+            u128::from(self.counter) - 1
+        };
+        blocks_done * BLOCK_WORDS as u128 + (self.index % BLOCK_WORDS) as u128
+    }
+
+    /// Seeks to an absolute keystream position (in 32-bit words).
+    pub fn set_word_pos(&mut self, word_pos: u128) {
+        let block = (word_pos / BLOCK_WORDS as u128) as u64;
+        let word = (word_pos % BLOCK_WORDS as u128) as usize;
+        self.counter = block;
+        self.refill();
+        self.index = word;
+    }
+}
+
+impl<const R: usize> SeedableRng for ChaChaRng<R> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        ChaChaRng {
+            seed,
+            counter: 0,
+            buf: [0; BLOCK_WORDS],
+            index: BLOCK_WORDS,
+        }
+    }
+}
+
+impl<const R: usize> RngCore for ChaChaRng<R> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BLOCK_WORDS {
+            self.refill();
+        }
+        let w = self.buf[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn word_pos_roundtrip_resumes_stream() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..37 {
+            rng.next_u32();
+        }
+        let pos = rng.get_word_pos();
+        let tail: Vec<u32> = (0..50).map(|_| rng.next_u32()).collect();
+
+        let mut resumed = ChaCha8Rng::from_seed(rng.get_seed());
+        resumed.set_word_pos(pos);
+        let tail2: Vec<u32> = (0..50).map(|_| resumed.next_u32()).collect();
+        assert_eq!(tail, tail2);
+    }
+
+    #[test]
+    fn word_pos_counts_words() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(rng.get_word_pos(), 0);
+        rng.next_u32();
+        assert_eq!(rng.get_word_pos(), 1);
+        rng.next_u64();
+        assert_eq!(rng.get_word_pos(), 3);
+        for _ in 0..13 {
+            rng.next_u32();
+        }
+        assert_eq!(rng.get_word_pos(), 16);
+    }
+
+    #[test]
+    fn blocks_differ() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+}

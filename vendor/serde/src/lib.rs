@@ -1,0 +1,34 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access. The workspace's
+//! manifests depend on `serde` but all actual (de)serialization in the
+//! tree goes through the vendored `serde_json`'s `Value` type, so this
+//! crate only needs to exist and expose marker traits. The `derive`
+//! feature is declared (empty) to satisfy the workspace manifest; no
+//! code in the tree derives `Serialize`/`Deserialize`.
+
+/// Marker for types that can be serialized.
+///
+/// The vendored `serde_json` works on its own `Value` tree rather than
+/// through this trait, so no methods are required.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+impl_markers!(
+    bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String
+);
+
+impl Serialize for str {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}

@@ -1,0 +1,1029 @@
+//! Offline mini `serde_json`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the slice of the `serde_json` API the workspace uses:
+//! the [`Value`] tree, the [`json!`] macro (including nested arrays and
+//! objects), [`to_string`] / [`to_string_pretty`], a strict [`from_str`]
+//! parser, and `Index`/`IndexMut` by string key.
+//!
+//! Numbers are stored losslessly as `u64` / `i64` / `f64` like upstream,
+//! so integer round-trips (e.g. checkpointed iteration counters and RNG
+//! stream positions) are exact. Objects use a `BTreeMap`, so
+//! serialization order is deterministic — which the DSE checkpoint tests
+//! rely on when comparing serialized state byte-for-byte.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The map type backing [`Value::Object`]. Sorted, so output is
+/// deterministic.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number(N);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// Creates a number from a finite float; returns `None` for
+    /// NaN/infinity, which JSON cannot represent.
+    pub fn from_f64(f: f64) -> Option<Number> {
+        f.is_finite().then_some(Number(N::Float(f)))
+    }
+
+    /// The value as `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self.0 {
+            N::PosInt(u) => u as f64,
+            N::NegInt(i) => i as f64,
+            N::Float(f) => f,
+        })
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::PosInt(u) => Some(u),
+            N::NegInt(i) => u64::try_from(i).ok(),
+            N::Float(_) => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::PosInt(u) => i64::try_from(u).ok(),
+            N::NegInt(i) => Some(i),
+            N::Float(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::PosInt(u) => write!(f, "{u}"),
+            N::NegInt(i) => write!(f, "{i}"),
+            N::Float(v) => {
+                if !v.is_finite() {
+                    // JSON has no non-finite literals; upstream refuses to
+                    // construct such numbers at all.
+                    return write!(f, "null");
+                }
+                // `{}` on f64 is shortest round-trip; force a float marker
+                // so the value parses back as a float, not an integer.
+                let s = format!("{v}");
+                if s.contains('.') || s.contains('e') || s.contains('E') {
+                    write!(f, "{s}")
+                } else {
+                    write!(f, "{s}.0")
+                }
+            }
+        }
+    }
+}
+
+/// A parsed or constructed JSON document node.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// A key-sorted map.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// `Some(f64)` if this is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// `Some(u64)` if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// `Some(i64)` if this is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// `Some(&str)` if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `Some(bool)` if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// `Some(&Vec<Value>)` if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// `Some(&mut Vec<Value>)` if this is an array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// `Some(&Map)` if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// `Some(&mut Map)` if this is an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True only for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup that never panics.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_value(f, self, None, 0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversions
+// ---------------------------------------------------------------------------
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number(N::PosInt(v as u64))) }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                let v = v as i64;
+                if v >= 0 {
+                    Value::Number(Number(N::PosInt(v as u64)))
+                } else {
+                    Value::Number(Number(N::NegInt(v)))
+                }
+            }
+        }
+    )*};
+}
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number(N::Float(v)))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number(N::Float(f64::from(v))))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl From<Number> for Value {
+    fn from(v: Number) -> Value {
+        Value::Number(v)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Value {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> FromIterator<T> for Value {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Value {
+        Value::Array(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+/// By-reference conversion used by the [`json!`] macro, mirroring how
+/// upstream serializes interpolated expressions through `&T`. The
+/// blanket `&T` impl lets the macro accept values at any reference
+/// depth without moving them.
+pub trait ToJson {
+    /// Converts to a [`Value`] without consuming `self`.
+    fn to_json(&self) -> Value;
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+macro_rules! to_json_via_from {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value { Value::from(*self) }
+        }
+    )*};
+}
+to_json_via_from!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Entry point the [`json!`] macro expands to for interpolated
+/// expressions.
+#[doc(hidden)]
+pub fn __to_value<T: ToJson + ?Sized>(v: &T) -> Value {
+    v.to_json()
+}
+
+// ---------------------------------------------------------------------------
+// Indexing
+// ---------------------------------------------------------------------------
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// Missing keys and non-objects index to `Null` (matching upstream).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<String> for Value {
+    type Output = Value;
+    fn index(&self, key: String) -> &Value {
+        &self[key.as_str()]
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+fn index_entry_mut<'a>(value: &'a mut Value, key: &str) -> &'a mut Value {
+    if value.is_null() {
+        *value = Value::Object(Map::new());
+    }
+    match value {
+        Value::Object(m) => m.entry(key.to_string()).or_insert(Value::Null),
+        other => panic!(
+            "cannot index into {} with a string key",
+            type_name(other)
+        ),
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        index_entry_mut(self, key)
+    }
+}
+
+impl std::ops::IndexMut<String> for Value {
+    fn index_mut(&mut self, key: String) -> &mut Value {
+        index_entry_mut(self, &key)
+    }
+}
+
+fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "a boolean",
+        Value::Number(_) => "a number",
+        Value::String(_) => "a string",
+        Value::Array(_) => "an array",
+        Value::Object(_) => "an object",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+/// Error raised by the parser (serialization is infallible here, but the
+/// public functions keep upstream's `Result` signatures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    /// Byte offset in the input at which the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.offset)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes compactly (no whitespace).
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(render(value, None))
+}
+
+/// Serializes with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    Ok(render(value, Some(2)))
+}
+
+fn render(value: &Value, indent: Option<usize>) -> String {
+    struct W<'a>(&'a Value, Option<usize>);
+    impl fmt::Display for W<'_> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write_value(f, self.0, self.1, 0)
+        }
+    }
+    W(value, indent).to_string()
+}
+
+fn write_value(
+    f: &mut fmt::Formatter<'_>,
+    value: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> fmt::Result {
+    match value {
+        Value::Null => write!(f, "null"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Number(n) => write!(f, "{n}"),
+        Value::String(s) => write_escaped(f, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                return write!(f, "[]");
+            }
+            write!(f, "[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write_newline_indent(f, indent, depth + 1)?;
+                write_value(f, item, indent, depth + 1)?;
+            }
+            write_newline_indent(f, indent, depth)?;
+            write!(f, "]")
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                return write!(f, "{{}}");
+            }
+            write!(f, "{{")?;
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write_newline_indent(f, indent, depth + 1)?;
+                write_escaped(f, k)?;
+                write!(f, ":")?;
+                if indent.is_some() {
+                    write!(f, " ")?;
+                }
+                write_value(f, v, indent, depth + 1)?;
+            }
+            write_newline_indent(f, indent, depth)?;
+            write!(f, "}}")
+        }
+    }
+}
+
+fn write_newline_indent(
+    f: &mut fmt::Formatter<'_>,
+    indent: Option<usize>,
+    depth: usize,
+) -> fmt::Result {
+    if let Some(step) = indent {
+        writeln!(f)?;
+        for _ in 0..step * depth {
+            write!(f, " ")?;
+        }
+    }
+    Ok(())
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            '\u{08}' => write!(f, "\\b")?,
+            '\u{0c}' => write!(f, "\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error { msg: msg.to_string(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes at once.
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\' && b >= 0x20) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.parse_hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or_else(|| self.err("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number(N::PosInt(u))));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number(N::NegInt(i))));
+            }
+        }
+        let f: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        Ok(Value::Number(Number(N::Float(f))))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// json! macro (upstream-style tt-muncher)
+// ---------------------------------------------------------------------------
+
+/// Builds a [`Value`] from JSON-like syntax; supports nested arrays,
+/// nested objects, and arbitrary interpolated expressions.
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => {
+        $crate::json_internal!($($json)+)
+    };
+}
+
+/// Implementation detail of [`json!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    //------------------------------------------------------------------
+    // @array: build a vec of Values, munching one element at a time.
+    // State: [built elements] remaining tokens
+    //------------------------------------------------------------------
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        vec![$($elems),*]
+    };
+    // Next element is a literal/compound form.
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($arr:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($arr)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($obj:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($obj)*})] $($rest)*)
+    };
+    // Next element is an expression followed by a comma.
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    // Last element: an expression with no trailing comma.
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    // Comma after a compound element.
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    //------------------------------------------------------------------
+    // @object: insert key/value pairs into a map binding.
+    // State: map ident, (current key tokens), (remaining), (copy of
+    // remaining, for error recovery — mirrors upstream's shape)
+    //------------------------------------------------------------------
+    // Done.
+    (@object $object:ident () () ()) => {};
+    // Insert entry followed by more entries.
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    // Insert the final entry.
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    // Current value is a literal/compound form.
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($arr:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($arr)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($obj:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($obj)*})) $($rest)*);
+    };
+    // Current value is an expression followed by a comma.
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    // Current value is the final expression.
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    // Munch one more token into the current key.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    //------------------------------------------------------------------
+    // Entry points.
+    //------------------------------------------------------------------
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(vec![])
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => {
+        $crate::__to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_scalars_and_nesting() {
+        let v = json!({
+            "name": "MBO",
+            "hv": 0.25,
+            "evals": 128usize,
+            "flag": true,
+            "nothing": null,
+            "tags": ["a", format!("b{}", 2)],
+            "rows": [
+                {"x": 1, "y": -2},
+                {"x": 3.5, "y": 4},
+            ],
+        });
+        assert_eq!(v["name"].as_str(), Some("MBO"));
+        assert_eq!(v["hv"].as_f64(), Some(0.25));
+        assert_eq!(v["evals"].as_u64(), Some(128));
+        assert_eq!(v["flag"].as_bool(), Some(true));
+        assert!(v["nothing"].is_null());
+        assert_eq!(v["tags"][1].as_str(), Some("b2"));
+        assert_eq!(v["rows"][0]["y"].as_i64(), Some(-2));
+        assert_eq!(v["rows"][1]["x"].as_f64(), Some(3.5));
+    }
+
+    #[test]
+    fn json_macro_interpolated_collections() {
+        let rows: Vec<Value> = (0..3).map(|i| json!({ "i": i })).collect();
+        let v = json!({ "rows": rows, "n": 3 });
+        assert_eq!(v["rows"].as_array().map(Vec::len), Some(3));
+        assert_eq!(v["rows"][2]["i"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn index_mut_inserts_and_overwrites() {
+        let mut v = json!({"metric": "mse"});
+        v[format!("fid_{}", "gp")] = json!(0.5);
+        v["metric"] = json!("mae");
+        assert_eq!(v["fid_gp"].as_f64(), Some(0.5));
+        assert_eq!(v["metric"].as_str(), Some("mae"));
+    }
+
+    #[test]
+    fn missing_key_indexes_to_null() {
+        let v = json!({"a": 1});
+        assert!(v["b"].is_null());
+        assert!(v["a"]["deep"].is_null());
+    }
+
+    #[test]
+    fn roundtrip_compact_and_pretty() {
+        let v = json!({
+            "s": "quote \" backslash \\ newline \n",
+            "big": 9007199254740993u64,
+            "neg": -42,
+            "pi": 3.141592653589793,
+            "arr": [1, 2.5, null, false],
+        });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back = from_str(&text).expect("parses");
+            assert_eq!(back, v, "roundtrip failed for: {text}");
+        }
+        // u64 precision survives (would be lost through f64).
+        let text = to_string(&v).unwrap();
+        let back = from_str(&text).unwrap();
+        assert_eq!(back["big"].as_u64(), Some(9007199254740993));
+    }
+
+    #[test]
+    fn float_marker_forced() {
+        let text = to_string(&json!({ "x": 5.0 })).unwrap();
+        assert!(text.contains("5.0"), "got: {text}");
+        let back = from_str(&text).unwrap();
+        assert_eq!(back["x"].as_f64(), Some(5.0));
+        assert_eq!(back["x"].as_u64(), None);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let v = from_str(r#"{"s": "a\tbé😀"}"#).unwrap();
+        assert_eq!(v["s"].as_str(), Some("a\tbé😀"));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("nul").is_err());
+        assert!(from_str(r#"{"a": 1} trailing"#).is_err());
+        assert!(from_str("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn object_keys_sorted_deterministically() {
+        let v = json!({"z": 1, "a": 2, "m": 3});
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":2,"m":3,"z":1}"#);
+    }
+}
