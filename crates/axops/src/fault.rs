@@ -10,9 +10,10 @@
 
 use crate::table::exhaustive_pairs;
 use crate::{AxMul, Mul8s};
+use clapped_exec::Memo;
 use clapped_netlist::{pack_bus_samples, unpack_bus_samples, FaultSet, Netlist};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Builds the 256×256 product table of a multiplier netlist simulated
 /// under `faults`. With an empty fault set the table is bit-identical to
@@ -81,10 +82,24 @@ impl FaultedMul {
     ///
     /// Propagates fault-site validation errors from the simulator.
     pub fn new(base: &AxMul, faults: &FaultSet) -> clapped_netlist::Result<FaultedMul> {
-        let table = build_mul_table_with_faults(base.netlist(), faults)?;
+        // Memoized per (netlist, fault set): fault campaigns revisit the
+        // same sites across iterations, and each rebuild is a full
+        // 65 536-pair simulation. Failures are not cached (they carry no
+        // table), so an invalid site still errors on every call.
+        type FaultTableMemo = Memo<(u64, u64), Arc<[i16]>>;
+        static MEMO: OnceLock<FaultTableMemo> = OnceLock::new();
+        let memo = MEMO.get_or_init(Memo::new);
+        let key = (base.netlist().content_digest(), faults.content_digest());
+        let table = match memo.get(&key) {
+            Some(t) => t,
+            None => {
+                let built: Arc<[i16]> = build_mul_table_with_faults(base.netlist(), faults)?.into();
+                memo.get_or_insert_with(key, || built)
+            }
+        };
         Ok(FaultedMul {
             name: format!("{}!faulty", base.name()),
-            table: table.into(),
+            table,
         })
     }
 

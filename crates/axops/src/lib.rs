@@ -54,7 +54,7 @@ pub use booth::booth_reference;
 pub use drum::drum_reference;
 pub use fault::{build_mul_table_with_faults, FaultedMul};
 pub use logmul::mitchell_reference;
-pub use table::{build_mul_table, exhaustive_pairs};
+pub use table::{build_mul_table, build_mul_table_cached, exhaustive_pairs, table_cache_stats};
 
 use clapped_netlist::Netlist;
 use std::fmt;
@@ -108,12 +108,15 @@ impl AxMul {
     /// is a programming-time activity, not a runtime input.
     pub fn new(name: impl Into<String>, arch: MulArch) -> AxMul {
         let netlist = arch.build_netlist();
-        let table = table::build_mul_table(&netlist);
+        // Memoized process-wide: repeated instantiations of the same
+        // architecture (e.g. every Catalog::standard() call) share one
+        // table allocation and never re-simulate.
+        let table = table::build_mul_table_cached(&netlist);
         AxMul {
             name: name.into(),
             arch,
             netlist: Arc::new(netlist),
-            table: table.into(),
+            table,
         }
     }
 
@@ -131,6 +134,13 @@ impl AxMul {
     /// Iterates over `((a, b), product)` for the full input space.
     pub fn iter_exhaustive(&self) -> impl Iterator<Item = ((i8, i8), i16)> + '_ {
         exhaustive_pairs().map(move |(a, b)| ((a, b), self.mul(a, b)))
+    }
+
+    /// True when both operators share the *same* behavioural-table
+    /// allocation — the observable proof that the process-wide table
+    /// memo deduplicated their construction.
+    pub fn shares_table_with(&self, other: &AxMul) -> bool {
+        Arc::ptr_eq(&self.table, &other.table)
     }
 }
 
@@ -180,6 +190,15 @@ mod tests {
         for (s, &(a, b)) in sim.iter().zip(&pairs) {
             assert_eq!(*s as i16, m.mul(a as i8, b as i8));
         }
+    }
+
+    #[test]
+    fn repeated_instantiation_shares_one_table() {
+        let a = AxMul::new("first", MulArch::Truncated { k: 5 });
+        let b = AxMul::new("second", MulArch::Truncated { k: 5 });
+        let c = AxMul::new("third", MulArch::Truncated { k: 4 });
+        assert!(a.shares_table_with(&b), "same netlist → one memoized table");
+        assert!(!a.shares_table_with(&c), "different netlist → different table");
     }
 
     #[test]

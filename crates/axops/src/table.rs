@@ -1,6 +1,16 @@
 //! Exhaustive behavioural-table extraction from operator netlists.
+//!
+//! Table construction is the single most expensive operator-layer
+//! operation (a 65 536-pair exhaustive simulation), and the same
+//! netlists recur constantly — every [`crate::Catalog::standard`] call
+//! instantiates the same 24 operators. [`build_mul_table_cached`]
+//! therefore memoizes tables process-wide, keyed by the netlist's
+//! stable content digest: a given netlist's table is built **once per
+//! process ever**, and all operator instances share one allocation.
 
+use clapped_exec::{Memo, MemoStats};
 use clapped_netlist::{pack_bus_samples, unpack_bus_samples, Netlist};
+use std::sync::{Arc, OnceLock};
 
 /// Iterates over all 65 536 signed 8-bit input pairs, `a` outermost.
 ///
@@ -55,6 +65,31 @@ pub fn build_mul_table(netlist: &Netlist) -> Vec<i16> {
     }
     flush(&mut batch, &mut table);
     table
+}
+
+fn table_memo() -> &'static Memo<u64, Arc<[i16]>> {
+    static MEMO: OnceLock<Memo<u64, Arc<[i16]>>> = OnceLock::new();
+    MEMO.get_or_init(Memo::new)
+}
+
+/// [`build_mul_table`] memoized process-wide by the netlist's content
+/// digest. The first call for a given netlist builds the table; every
+/// later call (any thread, any operator instance) returns a clone of the
+/// same `Arc` — zero rebuilds, shared storage.
+///
+/// # Panics
+///
+/// See [`build_mul_table`].
+pub fn build_mul_table_cached(netlist: &Netlist) -> Arc<[i16]> {
+    table_memo().get_or_insert_with(netlist.content_digest(), || build_mul_table(netlist).into())
+}
+
+/// Hit/miss counters of the process-wide behavioural-table memo. A warm
+/// process shows `misses` frozen at the number of distinct netlists ever
+/// built while `hits` keeps climbing — the "zero rebuilds on a warm
+/// cache" acceptance check.
+pub fn table_cache_stats() -> MemoStats {
+    table_memo().stats()
 }
 
 #[cfg(test)]

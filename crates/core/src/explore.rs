@@ -2,7 +2,7 @@
 //! utilization (paper Section V-D).
 
 use crate::{Clapped, ClappedError, MulRepr, Result};
-use clapped_dse::{mbo, Configuration, MboConfig, SearchResult};
+use clapped_dse::{BatchOutcome, Configuration, MboConfig, MboState, SearchResult};
 use clapped_mlp::{Regressor, TrainConfig};
 use rand::SeedableRng;
 
@@ -166,7 +166,16 @@ pub fn explore(fw: &Clapped, opts: &ExploreOptions) -> Result<ExploreResult> {
         }
     }
 
+    // Pure true-mode evaluations are content-addressed: identical
+    // configurations replay from the framework's result cache instead of
+    // re-running the application model and synthesis. ML-mode objectives
+    // depend on the freshly trained models, so they are never cached.
+    let pure_true =
+        opts.error_mode == EstimationMode::True && opts.hw_mode == EstimationMode::True;
     let objective = |c: &Configuration| -> Vec<f64> {
+        if pure_true {
+            return fw.true_objectives_cached(c);
+        }
         let err = match (&opts.error_mode, &err_model) {
             (EstimationMode::Ml, Some(m)) => m.predict(&fw.encode(c, opts.repr)),
             _ => fw
@@ -201,13 +210,29 @@ pub fn explore(fw: &Clapped, opts: &ExploreOptions) -> Result<ExploreResult> {
         }
         v
     };
-    let search = mbo(
-        &opts.mbo,
-        move |rng| space.sample(rng),
-        surrogate_features,
-        objective,
-    )
-    .map_err(ClappedError::Dse)?;
+    // Drive MBO through the batched stepping interface: every candidate
+    // batch fans out over the framework's evaluation engine, and each
+    // evaluation records its configuration digest (checkpointable, and
+    // replayable from a warm cache). Results are bit-identical at any
+    // thread count: candidates are sampled serially, outcomes return in
+    // candidate order, and the objectives are pure.
+    let mut state = MboState::new(&opts.mbo).map_err(ClappedError::Dse)?;
+    let mut sample = move |rng: &mut rand_chacha::ChaCha8Rng| space.sample(rng);
+    let mut evaluate_batch = |cs: &[Configuration]| -> Vec<BatchOutcome> {
+        fw.engine()
+            .evaluate_many(cs, |_, c| BatchOutcome::Value {
+                objectives: objective(c),
+                digest: fw.config_digest(c),
+            })
+            .into_iter()
+            .collect()
+    };
+    while !state.is_complete() {
+        state
+            .step_batched(&mut sample, &surrogate_features, &mut evaluate_batch)
+            .map_err(ClappedError::Dse)?;
+    }
+    let search = state.into_result();
 
     let mut pareto = Vec::new();
     for idx in search.pareto_indices() {
@@ -232,18 +257,27 @@ pub fn explore(fw: &Clapped, opts: &ExploreOptions) -> Result<ExploreResult> {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(opts.mbo.seed ^ 0x5EED);
         let space = fw.space().clone();
         let mut candidates: Vec<ParetoPoint> = pareto.clone();
+        // Mutate every neighbour first (one serial RNG stream), then
+        // evaluate them all on the engine.
+        let mut neighbours = Vec::with_capacity(pareto.len() * opts.refine_neighbors);
         for p in &pareto {
             for _ in 0..opts.refine_neighbors {
                 let mut neighbour = p.config.clone();
                 space.mutate(&mut neighbour, &mut rng);
-                let err = fw.evaluate_error(&neighbour)?.error_percent;
-                let luts = fw.characterize_hw(&neighbour)?.luts as f64;
-                candidates.push(ParetoPoint {
-                    config: neighbour,
-                    searched: [err, luts],
-                    actual: Some([err, luts]),
-                });
+                neighbours.push(neighbour);
             }
+        }
+        let true_objs = fw.engine().try_evaluate_many(&neighbours, |_, c| {
+            let err = fw.evaluate_error(c)?.error_percent;
+            let luts = fw.characterize_hw(c)?.luts as f64;
+            Ok::<[f64; 2], ClappedError>([err, luts])
+        })?;
+        for (neighbour, [err, luts]) in neighbours.into_iter().zip(true_objs) {
+            candidates.push(ParetoPoint {
+                config: neighbour,
+                searched: [err, luts],
+                actual: Some([err, luts]),
+            });
         }
         // Non-dominated filter over true objectives where available.
         let objs: Vec<Vec<f64>> = candidates
@@ -306,6 +340,53 @@ mod tests {
                 assert!(!clapped_dse::dominates(&oa, &ob) || oa == ob);
             }
         }
+    }
+
+    #[test]
+    fn exploration_is_thread_count_independent() {
+        let opts = ExploreOptions {
+            error_mode: EstimationMode::True,
+            hw_mode: EstimationMode::True,
+            training_samples: 0,
+            mbo: clapped_dse::MboConfig {
+                initial_samples: 6,
+                iterations: 2,
+                batch: 3,
+                candidates: 10,
+                reference: vec![40.0, 5000.0],
+                kappa: 1.0,
+                explore_fraction: 0.1,
+                seed: 2,
+            },
+            actual_eval: false,
+            ..ExploreOptions::default()
+        };
+        let serial_fw = Clapped::builder()
+            .image_size(16)
+            .exec(clapped_exec::ExecConfig::serial())
+            .build()
+            .unwrap();
+        let wide_fw = Clapped::builder()
+            .image_size(16)
+            .exec(clapped_exec::ExecConfig::with_jobs(8))
+            .build()
+            .unwrap();
+        let a = explore(&serial_fw, &opts).unwrap();
+        let b = explore(&wide_fw, &opts).unwrap();
+        assert_eq!(a.search.evaluated.len(), b.search.evaluated.len());
+        for ((ca, oa), (cb, ob)) in a.search.evaluated.iter().zip(&b.search.evaluated) {
+            assert_eq!(ca, cb, "candidate streams diverged");
+            for (x, y) in oa.iter().zip(ob) {
+                assert_eq!(x.to_bits(), y.to_bits(), "objectives not bit-identical");
+            }
+        }
+        for (&(na, ha), &(nb, hb)) in a.search.hv_trace.iter().zip(&b.search.hv_trace) {
+            assert_eq!(na, nb);
+            assert_eq!(ha.to_bits(), hb.to_bits(), "hypervolume trace diverged");
+        }
+        assert_eq!(a.search.pareto_indices(), b.search.pareto_indices());
+        // True-mode evaluations populated the result cache.
+        assert!(wide_fw.cache_stats().insertions > 0);
     }
 
     #[test]

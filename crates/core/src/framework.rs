@@ -5,11 +5,18 @@ use clapped_accel::{characterize, AccelReport, AcceleratorSpec, CharacterizeConf
 use clapped_axops::{Catalog, Mul8s};
 use clapped_dse::{Configuration, DesignSpace};
 use clapped_errmodel::{rank_terms, ErrorStats, PrModel};
+use clapped_exec::{CacheStats, Engine, ExecConfig, ResultCache, StructDigest, CODE_VERSION_SALT};
 use clapped_imgproc::{AppResult, ConvMode, GaussianDenoise, SobelEdge};
 use clapped_mlp::{Regressor, TrainConfig};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
+
+/// Cache-key role for cached scalar application-error evaluations.
+const ROLE_ERROR: u64 = 0x4552_524f_5221;
+/// Cache-key role for cached `[error %, LUTs]` objective vectors.
+const ROLE_OBJECTIVES: u64 = 0x4f42_4a45_4354;
 
 /// A labelled behavioural dataset: configurations, their encoded feature
 /// rows, and the true application-level error labels.
@@ -72,6 +79,9 @@ pub struct ClappedBuilder {
     catalog: Option<Catalog>,
     char_config: CharacterizeConfig,
     app_kind: AppKind,
+    exec: ExecConfig,
+    cache_capacity: usize,
+    cache_dir: Option<PathBuf>,
 }
 
 impl Default for ClappedBuilder {
@@ -84,6 +94,9 @@ impl Default for ClappedBuilder {
             catalog: None,
             char_config: CharacterizeConfig::default(),
             app_kind: AppKind::GaussianDenoise,
+            exec: ExecConfig::default(),
+            cache_capacity: 4096,
+            cache_dir: None,
         }
     }
 }
@@ -129,6 +142,29 @@ impl ClappedBuilder {
     /// Selects the behavioural application (default: Gaussian smoothing).
     pub fn application(mut self, kind: AppKind) -> Self {
         self.app_kind = kind;
+        self
+    }
+
+    /// Configures the parallel evaluation engine (default: one worker
+    /// per available core). Thread count never changes results — only
+    /// wall-clock time.
+    pub fn exec(mut self, config: ExecConfig) -> Self {
+        self.exec = config;
+        self
+    }
+
+    /// Capacity of the in-memory result cache (default 4096 entries).
+    /// Zero disables caching.
+    pub fn cache_capacity(mut self, entries: usize) -> Self {
+        self.cache_capacity = entries;
+        self
+    }
+
+    /// Enables the on-disk result-cache tier under `dir` (typically
+    /// `results/cache/`), so warm reruns of the same framework instance
+    /// skip recomputation across processes.
+    pub fn disk_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
         self
     }
 
@@ -188,7 +224,33 @@ impl ClappedBuilder {
             // Gradient magnitudes are not separable: restrict the mode DoF.
             space.modes = vec![ConvMode::TwoD];
         }
+        // Everything that changes what a configuration *means* for this
+        // instance goes into the cache salt, so results cached by one
+        // instance can never answer for a differently-built one. The
+        // code-version salt additionally invalidates persisted entries
+        // whenever the evaluation semantics change.
+        let catalog_names: Vec<String> = catalog
+            .iter()
+            .map(|m| Mul8s::name(m.as_ref()).to_string())
+            .collect();
+        let instance_salt = StructDigest::new("ClappedInstance")
+            .field("image_size", &(self.image_size as u64))
+            .field("noise_sigma", &self.noise_sigma)
+            .field("pr_degree", &(self.pr_degree as u64))
+            .field("seed", &self.seed)
+            .field("app_kind", &(self.app_kind as u64))
+            .field("catalog", &catalog_names)
+            .field("characterization", &format!("{:?}", self.char_config))
+            .finish();
+        let eval_cache = match &self.cache_dir {
+            Some(dir) => ResultCache::with_disk(self.cache_capacity, dir),
+            None => ResultCache::in_memory(self.cache_capacity),
+        }
+        .salted(CODE_VERSION_SALT)
+        .salted(instance_salt);
         Ok(Clapped {
+            engine: Engine::new(self.exec),
+            eval_cache,
             app_kind: self.app_kind,
             catalog,
             app,
@@ -209,6 +271,8 @@ impl ClappedBuilder {
 /// operator models and estimation services.
 #[derive(Debug)]
 pub struct Clapped {
+    engine: Engine,
+    eval_cache: ResultCache<Vec<f64>>,
     app_kind: AppKind,
     catalog: Catalog,
     app: AppModel,
@@ -303,6 +367,39 @@ impl Clapped {
         self.seed
     }
 
+    /// The parallel evaluation engine. Batched entry points
+    /// ([`Clapped::evaluate_error_many`], [`crate::explore`], the fault
+    /// campaign) fan their independent jobs over it; results are always
+    /// returned in input order, so the thread count never changes any
+    /// outcome.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Hit/miss counters of the content-addressed result cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.eval_cache.stats()
+    }
+
+    /// Stable content digest of a configuration — the key under which
+    /// this instance caches evaluation results and which
+    /// [`clapped_dse::MboState`] checkpoints record per evaluation.
+    /// Depends only on the configuration's fields, never on memory
+    /// layout or field-visit order.
+    pub fn config_digest(&self, config: &Configuration) -> u64 {
+        StructDigest::new("Configuration")
+            .field("window", &(config.window as u64))
+            .field("stride", &(config.stride as u64))
+            .field("downsample", &config.downsample)
+            .field("mode", &(config.mode as u64))
+            .field("scale", &(config.scale as u64))
+            .field(
+                "mul_indices",
+                &config.mul_indices.iter().map(|&i| i as u64).collect::<Vec<u64>>(),
+            )
+            .finish()
+    }
+
     /// The hardware operator library (per-operator synthesis reports),
     /// characterized on first use.
     ///
@@ -386,6 +483,60 @@ impl Clapped {
         Ok(self.app.evaluate(&config.conv_config(), taps)?)
     }
 
+    /// **Batched** true behavioral estimation: evaluates every
+    /// configuration on the engine's thread pool and returns the results
+    /// in input order (or the lowest-indexed failure, so errors are as
+    /// deterministic as successes).
+    ///
+    /// # Errors
+    ///
+    /// The first (by input index) configuration's evaluation error.
+    pub fn evaluate_error_many(&self, configs: &[Configuration]) -> Result<Vec<AppResult>> {
+        self.engine.try_evaluate_many(configs, |_, c| self.evaluate_error(c))
+    }
+
+    /// [`Clapped::evaluate_error`] through the result cache: the
+    /// application model runs at most once per distinct configuration
+    /// (per instance, or ever with a disk tier); repeats replay the
+    /// stored error percentage. Failures are never cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors on a cache miss.
+    pub fn evaluate_error_cached(&self, config: &Configuration) -> Result<f64> {
+        let key = self.config_digest(config) ^ ROLE_ERROR;
+        if let Some(v) = self.eval_cache.get(key) {
+            return Ok(v[0]);
+        }
+        let r = self.evaluate_error(config)?;
+        self.eval_cache.insert(key, vec![r.error_percent]);
+        Ok(r.error_percent)
+    }
+
+    /// The cached true DSE objective vector `[application error %,
+    /// LUT count]` of a configuration. Evaluation failures yield the
+    /// large finite sentinel the search treats as "avoid this region"
+    /// (matching the ML-mode objective closures) and are never cached.
+    pub fn true_objectives_cached(&self, config: &Configuration) -> Vec<f64> {
+        let key = self.config_digest(config) ^ ROLE_OBJECTIVES;
+        if let Some(v) = self.eval_cache.get(key) {
+            return v;
+        }
+        let err = self
+            .evaluate_error(config)
+            .map(|r| r.error_percent)
+            .unwrap_or(f64::MAX / 4.0);
+        let luts = self
+            .characterize_hw(config)
+            .map(|r| r.luts as f64)
+            .unwrap_or(f64::MAX / 4.0);
+        let objectives = vec![err.max(0.0), luts.max(0.0)];
+        if err < f64::MAX / 8.0 && luts < f64::MAX / 8.0 {
+            self.eval_cache.insert(key, objectives.clone());
+        }
+        objectives
+    }
+
     /// The accelerator design point implied by a configuration: the
     /// effective streamed image shrinks with DATA scaling.
     pub fn accel_spec(&self, config: &Configuration) -> AcceleratorSpec {
@@ -467,17 +618,14 @@ impl Clapped {
         repr: MulRepr,
         seed: u64,
     ) -> Result<ErrorDataset> {
+        // Sample every configuration first (one serial RNG stream, so
+        // the dataset is independent of the thread count), then fan the
+        // expensive application runs over the engine.
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut configs = Vec::with_capacity(count);
-        let mut xs = Vec::with_capacity(count);
-        let mut ys = Vec::with_capacity(count);
-        for _ in 0..count {
-            let c = self.space.sample(&mut rng);
-            let r = self.evaluate_error(&c)?;
-            xs.push(self.encode(&c, repr));
-            ys.push(r.error_percent);
-            configs.push(c);
-        }
+        let configs: Vec<Configuration> = (0..count).map(|_| self.space.sample(&mut rng)).collect();
+        let results = self.evaluate_error_many(&configs)?;
+        let xs: Vec<Vec<f64>> = configs.iter().map(|c| self.encode(c, repr)).collect();
+        let ys: Vec<f64> = results.iter().map(|r| r.error_percent).collect();
         Ok((configs, xs, ys))
     }
 
@@ -573,6 +721,61 @@ mod tests {
             .build()
             .unwrap();
         let _ = fw.app();
+    }
+
+    #[test]
+    fn config_digests_are_stable_and_content_addressed() {
+        let fw = small();
+        let a = Configuration::golden(3);
+        let mut b = Configuration::golden(3);
+        assert_eq!(fw.config_digest(&a), fw.config_digest(&b));
+        b.stride = 2;
+        assert_ne!(fw.config_digest(&a), fw.config_digest(&b));
+        let mut c = Configuration::golden(3);
+        c.mul_indices[4] += 1;
+        assert_ne!(fw.config_digest(&a), fw.config_digest(&c));
+    }
+
+    #[test]
+    fn cached_evaluation_skips_recompute() {
+        let fw = small();
+        let c = Configuration::golden(3);
+        let before = fw.cache_stats();
+        let e1 = fw.evaluate_error_cached(&c).unwrap();
+        let e2 = fw.evaluate_error_cached(&c).unwrap();
+        assert_eq!(e1.to_bits(), e2.to_bits());
+        let after = fw.cache_stats();
+        assert_eq!(after.misses - before.misses, 1, "one cold miss");
+        assert_eq!(after.hits - before.hits, 1, "one warm hit");
+        // The objective helper caches under its own role key.
+        let o1 = fw.true_objectives_cached(&c);
+        let o2 = fw.true_objectives_cached(&c);
+        assert_eq!(o1, o2);
+        assert_eq!(o1[0].to_bits(), e1.to_bits());
+        assert_eq!(fw.cache_stats().hits - after.hits, 1);
+    }
+
+    #[test]
+    fn parallel_dataset_matches_serial_bit_for_bit() {
+        let serial = Clapped::builder()
+            .image_size(16)
+            .exec(clapped_exec::ExecConfig::serial())
+            .build()
+            .unwrap();
+        let wide = Clapped::builder()
+            .image_size(16)
+            .exec(clapped_exec::ExecConfig::with_jobs(8))
+            .build()
+            .unwrap();
+        let (c1, x1, y1) = serial.make_error_dataset(10, MulRepr::Coeffs(3), 5).unwrap();
+        let (c2, x2, y2) = wide.make_error_dataset(10, MulRepr::Coeffs(3), 5).unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(x1, x2);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(wide.engine().jobs() > 1);
+        assert_eq!(wide.engine().jobs_executed(), 10);
     }
 
     #[test]

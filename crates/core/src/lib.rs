@@ -33,6 +33,9 @@ pub use explore::{explore, DofSummary, EstimationMode, ExploreOptions, ExploreRe
 pub use framework::{AppKind, Clapped, ClappedBuilder, ErrorDataset};
 pub use repr::MulRepr;
 pub use resilience::{FaultCampaignConfig, FaultCampaignReport, FaultImpact};
+// Execution-engine knobs, re-exported so framework users can configure
+// parallelism and inspect caches without naming `clapped-exec` directly.
+pub use clapped_exec::{CacheStats, Engine, ExecConfig};
 
 use std::error::Error;
 use std::fmt;

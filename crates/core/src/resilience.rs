@@ -133,13 +133,16 @@ impl Clapped {
             .map(|_| (0..netlist.inputs().len()).map(|_| rng.next_u64()).collect())
             .collect();
         let sites = netlist.fault_sites();
-        let screened = netlist.stuck_at_campaign(&sites, &batches, 64)?;
+        let screened = netlist.stuck_at_campaign_with(&sites, &batches, 64, self.engine())?;
 
-        // Stage 2: application evaluation of the worst sites.
+        // Stage 2: application evaluation of the worst sites, fanned
+        // over the engine (each job rebuilds the faulted behavioural
+        // table — memoized per fault — and re-runs the application).
         let healthy_taps = self.try_taps_for(config)?;
         let tap_indices = config.active_mul_indices();
-        let mut impacts = Vec::new();
-        for site_idx in screened.ranked_sites().into_iter().take(campaign.top_k) {
+        let promoted: Vec<usize> =
+            screened.ranked_sites().into_iter().take(campaign.top_k).collect();
+        let mut impacts = self.engine().try_evaluate_many(&promoted, |_, &site_idx| {
             let site = &screened.sites[site_idx];
             let faults = FaultSet::from(site.fault);
             let faulted: Arc<dyn Mul8s> = Arc::new(FaultedMul::new(&base, &faults)?);
@@ -155,14 +158,14 @@ impl Clapped {
                 })
                 .collect();
             let r = self.evaluate_error_with(config, &taps)?;
-            impacts.push(FaultImpact {
+            Ok::<FaultImpact, ClappedError>(FaultImpact {
                 fault: site.fault,
                 netlist_mismatch_rate: site.mismatch_rate,
                 netlist_weighted_error: site.weighted_error,
                 app_error_percent: r.error_percent,
                 degradation: r.error_percent - baseline.error_percent,
-            });
-        }
+            })
+        })?;
         impacts.sort_by(|a, b| b.degradation.total_cmp(&a.degradation));
 
         Ok(FaultCampaignReport {

@@ -17,7 +17,10 @@ use rand_chacha::ChaCha8Rng;
 use serde_json::{json, Value};
 
 /// Version tag written into every checkpoint; bumped on schema changes.
-const CHECKPOINT_VERSION: u64 = 1;
+/// Version 2 added `eval_digests` (content digests of the evaluated
+/// configurations, for cache replay on resume); version-1 checkpoints
+/// are still readable, their digests defaulting to zero.
+const CHECKPOINT_VERSION: u64 = 2;
 
 /// JSON conversion for candidate types carried through a checkpoint.
 ///
@@ -146,6 +149,7 @@ impl<C: CheckpointCodec + Clone> MboState<C> {
                     "objectives": o.clone(),
                 }))
                 .collect::<Vec<_>>(),
+            "eval_digests": self.eval_digests.clone(),
             "hv_trace": self
                 .hv_trace
                 .iter()
@@ -169,9 +173,9 @@ impl<C: CheckpointCodec + Clone> MboState<C> {
         let root: Value =
             serde_json::from_str(text).map_err(|e| bad(format!("invalid JSON: {e}")))?;
         let version = as_u64(get(&root, "version")?, "version")?;
-        if version != CHECKPOINT_VERSION {
+        if version == 0 || version > CHECKPOINT_VERSION {
             return Err(bad(format!(
-                "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+                "unsupported checkpoint version {version} (expected 1..={CHECKPOINT_VERSION})"
             )));
         }
 
@@ -219,6 +223,25 @@ impl<C: CheckpointCodec + Clone> MboState<C> {
             evaluated.push((candidate, objectives));
         }
 
+        // Version 1 predates digest tracking: default to zero ("no
+        // digest recorded"), which downstream treats as un-replayable.
+        let eval_digests: Vec<u64> = if version >= 2 {
+            let digests = as_array(get(&root, "eval_digests")?, "eval_digests")?
+                .iter()
+                .map(|v| as_u64(v, "eval_digests"))
+                .collect::<Result<Vec<u64>>>()?;
+            if digests.len() != evaluated.len() {
+                return Err(bad(format!(
+                    "{} eval digests for {} evaluations",
+                    digests.len(),
+                    evaluated.len()
+                )));
+            }
+            digests
+        } else {
+            vec![0; evaluated.len()]
+        };
+
         let mut hv_trace = Vec::new();
         for entry in as_array(get(&root, "hv_trace")?, "hv_trace")? {
             let pair = as_array(entry, "hv_trace")?;
@@ -243,6 +266,7 @@ impl<C: CheckpointCodec + Clone> MboState<C> {
             config,
             rng,
             evaluated,
+            eval_digests,
             hv_trace,
             initial_done,
             iterations_done,

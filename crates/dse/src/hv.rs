@@ -40,17 +40,18 @@ pub(crate) fn note_nonfinite() {
 /// let hv = clapped_dse::hypervolume(&[vec![1.0, 1.0]], &[3.0, 3.0]);
 /// assert!((hv - 4.0).abs() < 1e-12);
 /// ```
-pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+pub fn hypervolume<P: AsRef<[f64]>>(points: &[P], reference: &[f64]) -> f64 {
     let d = reference.len();
     assert!(d >= 1, "need at least one objective");
     for p in points {
-        assert_eq!(p.len(), d, "objective dimension mismatch");
+        assert_eq!(p.as_ref().len(), d, "objective dimension mismatch");
     }
     // Reject non-finite points (−∞ coordinates would otherwise claim
     // infinite volume; NaN would poison the sweeps), then clip to the
     // reference box and drop non-contributing points.
     let clipped: Vec<Vec<f64>> = points
         .iter()
+        .map(AsRef::as_ref)
         .filter(|p| {
             if p.iter().any(|x| !x.is_finite()) {
                 note_nonfinite();
@@ -58,7 +59,7 @@ pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
             }
             p.iter().zip(reference).all(|(&x, &r)| x < r)
         })
-        .cloned()
+        .map(<[f64]>::to_vec)
         .collect();
     if clipped.is_empty() {
         return 0.0;
@@ -148,15 +149,15 @@ fn hv3(front: &[Vec<f64>], reference: &[f64]) -> f64 {
 /// # Panics
 ///
 /// See [`hypervolume`].
-pub fn exclusive_contributions(points: &[Vec<f64>], reference: &[f64]) -> Vec<f64> {
+pub fn exclusive_contributions<P: AsRef<[f64]>>(points: &[P], reference: &[f64]) -> Vec<f64> {
     let total = hypervolume(points, reference);
     (0..points.len())
         .map(|i| {
-            let rest: Vec<Vec<f64>> = points
+            let rest: Vec<&[f64]> = points
                 .iter()
                 .enumerate()
                 .filter(|(j, _)| *j != i)
-                .map(|(_, p)| p.clone())
+                .map(|(_, p)| p.as_ref())
                 .collect();
             (total - hypervolume(&rest, reference)).max(0.0)
         })

@@ -42,7 +42,7 @@ mod space;
 pub use checkpoint::CheckpointCodec;
 pub use gp::Gp;
 pub use hv::{exclusive_contributions, hypervolume, nonfinite_warnings};
-pub use mbo::{mbo, MboConfig, MboState, SearchResult};
+pub use mbo::{mbo, BatchOutcome, MboConfig, MboState, SearchResult};
 pub use pareto::{dominates, pareto_front};
 pub use resilient::{
     mbo_resilient, mbo_resilient_checkpointed, QuarantineEntry, ResilienceConfig,

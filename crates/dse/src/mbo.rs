@@ -72,7 +72,7 @@ pub struct SearchResult<C> {
 impl<C> SearchResult<C> {
     /// Indices (into `evaluated`) of the Pareto-optimal points.
     pub fn pareto_indices(&self) -> Vec<usize> {
-        let objs: Vec<Vec<f64>> = self.evaluated.iter().map(|(_, o)| o.clone()).collect();
+        let objs: Vec<&[f64]> = self.evaluated.iter().map(|(_, o)| o.as_slice()).collect();
         pareto_front(&objs)
     }
 
@@ -93,9 +93,40 @@ pub struct MboState<C> {
     pub(crate) config: MboConfig,
     pub(crate) rng: ChaCha8Rng,
     pub(crate) evaluated: Vec<(C, Vec<f64>)>,
+    /// Content digest of each recorded evaluation (parallel to
+    /// `evaluated`; `0` when the evaluator did not supply one). Persisted
+    /// in checkpoints so a resumed run can replay cache hits.
+    pub(crate) eval_digests: Vec<u64>,
     pub(crate) hv_trace: Vec<(usize, f64)>,
     pub(crate) initial_done: bool,
     pub(crate) iterations_done: usize,
+}
+
+/// Per-candidate outcome of a batched evaluation, in candidate order.
+///
+/// The contract mirrors the serial `evaluate` closure of
+/// [`MboState::step`]: a [`BatchOutcome::Value`] records the candidate,
+/// a [`BatchOutcome::Skip`] quarantines it (its batch slot is dropped),
+/// and a [`BatchOutcome::Fail`] aborts the step at that slot — earlier
+/// outcomes in the batch are still recorded, later ones are discarded,
+/// exactly as if a serial evaluator had errored mid-batch.
+#[derive(Debug)]
+pub enum BatchOutcome {
+    /// A successful evaluation.
+    Value {
+        /// The objective vector (must match the reference dimension).
+        objectives: Vec<f64>,
+        /// Stable content digest of the evaluated configuration, or `0`
+        /// when the evaluator does not track digests.
+        digest: u64,
+    },
+    /// The candidate was quarantined; its slot is skipped.
+    Skip {
+        /// Diagnostic description of why the candidate was rejected.
+        reason: String,
+    },
+    /// Hard failure: the step aborts here.
+    Fail(DseError),
 }
 
 impl<C: Clone> MboState<C> {
@@ -120,6 +151,7 @@ impl<C: Clone> MboState<C> {
             config: config.clone(),
             rng: ChaCha8Rng::seed_from_u64(config.seed),
             evaluated: Vec::new(),
+            eval_digests: Vec::new(),
             hv_trace: Vec::new(),
             initial_done: false,
             iterations_done: 0,
@@ -134,6 +166,14 @@ impl<C: Clone> MboState<C> {
     /// Evaluated points so far, in evaluation order.
     pub fn evaluated(&self) -> &[(C, Vec<f64>)] {
         &self.evaluated
+    }
+
+    /// Content digest of each evaluation in [`MboState::evaluated`]
+    /// order (`0` for evaluators that do not track digests). Persisted
+    /// in checkpoints, so a resumed run knows which results a warm
+    /// cache can replay.
+    pub fn eval_digests(&self) -> &[u64] {
+        &self.eval_digests
     }
 
     /// Iterations completed so far (excludes the initial phase).
@@ -158,38 +198,59 @@ impl<C: Clone> MboState<C> {
     /// trace. Called after each completed phase; also used by the
     /// resilient driver to seal a partially completed batch.
     pub(crate) fn push_hv(&mut self) {
-        let objs: Vec<Vec<f64>> = self.evaluated.iter().map(|(_, o)| o.clone()).collect();
+        let objs: Vec<&[f64]> = self.evaluated.iter().map(|(_, o)| o.as_slice()).collect();
         self.hv_trace
             .push((self.evaluated.len(), hypervolume(&objs, &self.config.reference)));
     }
 
-    /// Evaluates one candidate through `evaluate` and records it.
+    /// Records a batch of outcomes against the candidates they evaluate.
     ///
-    /// An [`DseError::Evaluation`] outcome means the candidate was
-    /// quarantined by a resilient evaluator: the slot is simply skipped.
-    /// Every other error propagates and aborts the step.
-    fn try_eval(
-        &mut self,
-        c: C,
-        evaluate: &mut impl FnMut(&C) -> Result<Vec<f64>>,
-    ) -> Result<()> {
-        match evaluate(&c) {
-            Ok(o) => {
-                if o.len() != self.config.reference.len() {
-                    return Err(DseError::BadObjectives {
-                        reason: format!(
-                            "objective dim {} vs reference dim {}",
-                            o.len(),
-                            self.config.reference.len()
-                        ),
-                    });
-                }
-                self.evaluated.push((c, o));
-                Ok(())
-            }
-            Err(DseError::Evaluation { .. }) => Ok(()),
-            Err(e) => Err(e),
+    /// Outcomes are consumed in candidate order: values are recorded,
+    /// skips drop their slot, and the first [`BatchOutcome::Fail`]
+    /// aborts with its error — everything recorded before it stays, which
+    /// reproduces a serial evaluator erroring mid-batch. The outcome
+    /// list may be truncated at a trailing `Fail` (a serial adapter
+    /// stops evaluating at the first hard failure); any other length
+    /// mismatch is a contract violation.
+    fn record_batch(&mut self, candidates: Vec<C>, outcomes: Vec<BatchOutcome>) -> Result<()> {
+        if outcomes.len() > candidates.len() {
+            return Err(DseError::BadObjectives {
+                reason: format!(
+                    "batch evaluator returned {} outcomes for {} candidates",
+                    outcomes.len(),
+                    candidates.len()
+                ),
+            });
         }
+        let n_outcomes = outcomes.len();
+        let n_candidates = candidates.len();
+        for (c, outcome) in candidates.into_iter().zip(outcomes) {
+            match outcome {
+                BatchOutcome::Value { objectives, digest } => {
+                    if objectives.len() != self.config.reference.len() {
+                        return Err(DseError::BadObjectives {
+                            reason: format!(
+                                "objective dim {} vs reference dim {}",
+                                objectives.len(),
+                                self.config.reference.len()
+                            ),
+                        });
+                    }
+                    self.evaluated.push((c, objectives));
+                    self.eval_digests.push(digest);
+                }
+                BatchOutcome::Skip { .. } => {}
+                BatchOutcome::Fail(e) => return Err(e),
+            }
+        }
+        if n_outcomes < n_candidates {
+            return Err(DseError::BadObjectives {
+                reason: format!(
+                    "batch evaluator returned {n_outcomes} outcomes for {n_candidates} candidates"
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Advances the run by one phase: the initial random-sampling phase
@@ -199,6 +260,11 @@ impl<C: Clone> MboState<C> {
     /// `evaluate` returns the objective vector for a candidate; a
     /// [`DseError::Evaluation`] error quarantines that candidate (its
     /// batch slot is skipped) while any other error aborts the step.
+    ///
+    /// This is the serial adapter over [`MboState::step_batched`]:
+    /// candidates are evaluated one at a time, stopping at the first
+    /// hard failure, which yields identical recorded state to the
+    /// historical per-candidate loop.
     ///
     /// # Errors
     ///
@@ -210,12 +276,54 @@ impl<C: Clone> MboState<C> {
         encode: &impl Fn(&C) -> Vec<f64>,
         evaluate: &mut impl FnMut(&C) -> Result<Vec<f64>>,
     ) -> Result<()> {
+        let mut batch_evaluate = |cs: &[C]| -> Vec<BatchOutcome> {
+            let mut out = Vec::with_capacity(cs.len());
+            for c in cs {
+                match evaluate(c) {
+                    Ok(objectives) => out.push(BatchOutcome::Value { objectives, digest: 0 }),
+                    Err(DseError::Evaluation { reason }) => {
+                        out.push(BatchOutcome::Skip { reason });
+                    }
+                    Err(e) => {
+                        // Hard failure: stop evaluating the rest of the
+                        // batch, like the historical serial loop did.
+                        out.push(BatchOutcome::Fail(e));
+                        break;
+                    }
+                }
+            }
+            out
+        };
+        self.step_batched(sample, encode, &mut batch_evaluate)
+    }
+
+    /// [`MboState::step`] with batched candidate evaluation.
+    ///
+    /// All candidates of the phase are sampled *before* `evaluate_batch`
+    /// runs; since candidate evaluation never touches the RNG, the RNG
+    /// stream — and therefore the whole search trajectory — is
+    /// bit-identical to the serial form. The evaluator is handed the
+    /// full batch at once and may compute the outcomes in parallel (for
+    /// example with `clapped-exec`'s `Engine`), as long as the returned
+    /// outcomes are in candidate order.
+    ///
+    /// # Errors
+    ///
+    /// See [`MboState::step`]; additionally rejects outcome lists whose
+    /// length does not match the candidate batch.
+    pub fn step_batched(
+        &mut self,
+        sample: &mut impl FnMut(&mut ChaCha8Rng) -> C,
+        encode: &impl Fn(&C) -> Vec<f64>,
+        evaluate_batch: &mut impl FnMut(&[C]) -> Vec<BatchOutcome>,
+    ) -> Result<()> {
         let d = self.config.reference.len();
         if !self.initial_done {
-            for _ in 0..self.config.initial_samples {
-                let c = sample(&mut self.rng);
-                self.try_eval(c, evaluate)?;
-            }
+            let batch: Vec<C> = (0..self.config.initial_samples)
+                .map(|_| sample(&mut self.rng))
+                .collect();
+            let outcomes = evaluate_batch(&batch);
+            self.record_batch(batch, outcomes)?;
             self.initial_done = true;
             self.push_hv();
             return Ok(());
@@ -255,15 +363,19 @@ impl<C: Clone> MboState<C> {
         let n_random =
             ((self.config.batch as f64) * self.config.explore_fraction).round() as usize;
         let n_guided = self.config.batch.saturating_sub(n_random).min(candidates.len());
+        let mut picked: Vec<C> = Vec::with_capacity(self.config.batch);
         for _ in 0..n_guided {
             let base_hv = hypervolume(&working, &self.config.reference);
             let best = candidates
                 .iter()
                 .enumerate()
                 .map(|(i, (pred, _))| {
-                    let mut with = working.clone();
-                    with.push(pred.clone());
-                    (i, hypervolume(&with, &self.config.reference) - base_hv)
+                    // Score by push/pop on the shared working front
+                    // instead of cloning the whole matrix per candidate.
+                    working.push(pred.clone());
+                    let gain = hypervolume(&working, &self.config.reference) - base_hv;
+                    working.pop();
+                    (i, gain)
                 })
                 // total_cmp: predictions can in principle go non-finite;
                 // NaN gains then sort low instead of panicking.
@@ -271,12 +383,13 @@ impl<C: Clone> MboState<C> {
             let Some((best_idx, _)) = best else { break };
             let (pred, c) = candidates.swap_remove(best_idx);
             working.push(pred);
-            self.try_eval(c, evaluate)?;
+            picked.push(c);
         }
         for _ in 0..self.config.batch - n_guided {
-            let c = sample(&mut self.rng);
-            self.try_eval(c, evaluate)?;
+            picked.push(sample(&mut self.rng));
         }
+        let outcomes = evaluate_batch(&picked);
+        self.record_batch(picked, outcomes)?;
         self.iterations_done += 1;
         self.push_hv();
         Ok(())
@@ -421,6 +534,108 @@ mod tests {
         let stepped = state.into_result();
         assert_eq!(stepped.hv_trace, oneshot.hv_trace);
         assert_eq!(stepped.evaluated.len(), oneshot.evaluated.len());
+    }
+
+    #[test]
+    fn batched_stepping_matches_serial_exactly() {
+        let config = MboConfig {
+            initial_samples: 6,
+            iterations: 3,
+            batch: 3,
+            candidates: 10,
+            reference: vec![1.5, 1.5],
+            kappa: 1.0,
+            explore_fraction: 0.1,
+            seed: 9,
+        };
+        let serial = mbo(&config, toy_sample, |c| c.clone(), toy_objective).unwrap();
+        let mut state = MboState::new(&config).unwrap();
+        let mut sample = toy_sample;
+        let encode = |c: &Vec<f64>| c.clone();
+        // Evaluate in reverse order (as a parallel engine might finish
+        // jobs) but return outcomes in candidate order.
+        let mut evaluate_batch = |cs: &[Vec<f64>]| -> Vec<BatchOutcome> {
+            let mut out: Vec<(usize, Vec<f64>)> = cs
+                .iter()
+                .enumerate()
+                .rev()
+                .map(|(i, c)| (i, toy_objective(c)))
+                .collect();
+            out.sort_by_key(|&(i, _)| i);
+            out.into_iter()
+                .map(|(i, objectives)| BatchOutcome::Value { objectives, digest: i as u64 + 1 })
+                .collect()
+        };
+        while !state.is_complete() {
+            state.step_batched(&mut sample, &encode, &mut evaluate_batch).unwrap();
+        }
+        assert_eq!(state.eval_digests().len(), state.evaluated().len());
+        assert!(state.eval_digests().iter().all(|&d| d != 0));
+        let batched = state.into_result();
+        assert_eq!(batched.hv_trace, serial.hv_trace);
+        assert_eq!(batched.evaluated.len(), serial.evaluated.len());
+        for ((ca, oa), (cb, ob)) in batched.evaluated.iter().zip(&serial.evaluated) {
+            assert_eq!(ca, cb);
+            assert_eq!(oa, ob);
+        }
+    }
+
+    #[test]
+    fn batched_skip_and_fail_semantics() {
+        let config = MboConfig {
+            initial_samples: 4,
+            iterations: 1,
+            batch: 2,
+            candidates: 6,
+            reference: vec![1.5, 1.5],
+            kappa: 1.0,
+            explore_fraction: 0.0,
+            seed: 1,
+        };
+        // Skip one slot in the initial batch.
+        let mut state = MboState::new(&config).unwrap();
+        let mut sample = toy_sample;
+        let encode = |c: &Vec<f64>| c.clone();
+        let mut skipping = |cs: &[Vec<f64>]| -> Vec<BatchOutcome> {
+            cs.iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if i == 1 {
+                        BatchOutcome::Skip { reason: "quarantined".into() }
+                    } else {
+                        BatchOutcome::Value { objectives: toy_objective(c), digest: 0 }
+                    }
+                })
+                .collect()
+        };
+        state.step_batched(&mut sample, &encode, &mut skipping).unwrap();
+        assert_eq!(state.evaluated().len(), config.initial_samples - 1);
+
+        // A Fail mid-batch records earlier slots, then aborts.
+        let mut state = MboState::new(&config).unwrap();
+        let mut failing = |cs: &[Vec<f64>]| -> Vec<BatchOutcome> {
+            cs.iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if i == 2 {
+                        BatchOutcome::Fail(DseError::Evaluation { reason: "hard".into() })
+                    } else {
+                        BatchOutcome::Value { objectives: toy_objective(c), digest: 0 }
+                    }
+                })
+                .collect()
+        };
+        let err = state.step_batched(&mut sample, &encode, &mut failing).unwrap_err();
+        assert!(matches!(err, DseError::Evaluation { .. }));
+        assert_eq!(state.evaluated().len(), 2, "slots before the failure stay recorded");
+
+        // An outcome-count mismatch is rejected.
+        let mut state = MboState::new(&config).unwrap();
+        let mut short = |_: &[Vec<f64>]| -> Vec<BatchOutcome> { Vec::new() };
+        assert!(matches!(
+            state.step_batched(&mut sample, &encode, &mut short),
+            Err(DseError::BadObjectives { .. })
+        ));
     }
 
     #[test]

@@ -21,15 +21,17 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
 
 /// Indices of the non-dominated points, in input order.
 ///
-/// Duplicate points are all kept (none dominates the other). Points
-/// with NaN or ±∞ coordinates cannot be ranked: they are excluded from
-/// the front (and from dominating anything), and each exclusion bumps
-/// the [`crate::nonfinite_warnings`] counter.
-pub fn pareto_front(points: &[Vec<f64>]) -> Vec<usize> {
+/// Accepts any slice of objective vectors (`Vec<f64>`, `&[f64]`, …) so
+/// callers can pass borrowed views without materializing an owned
+/// matrix. Duplicate points are all kept (none dominates the other).
+/// Points with NaN or ±∞ coordinates cannot be ranked: they are
+/// excluded from the front (and from dominating anything), and each
+/// exclusion bumps the [`crate::nonfinite_warnings`] counter.
+pub fn pareto_front<P: AsRef<[f64]>>(points: &[P]) -> Vec<usize> {
     let finite: Vec<bool> = points
         .iter()
         .map(|p| {
-            let ok = p.iter().all(|x| x.is_finite());
+            let ok = p.as_ref().iter().all(|x| x.is_finite());
             if !ok {
                 crate::hv::note_nonfinite();
             }
@@ -39,10 +41,9 @@ pub fn pareto_front(points: &[Vec<f64>]) -> Vec<usize> {
     (0..points.len())
         .filter(|&i| {
             finite[i]
-                && !points
-                    .iter()
-                    .enumerate()
-                    .any(|(j, p)| j != i && finite[j] && dominates(p, &points[i]))
+                && !points.iter().enumerate().any(|(j, p)| {
+                    j != i && finite[j] && dominates(p.as_ref(), points[i].as_ref())
+                })
         })
         .collect()
 }
@@ -80,7 +81,7 @@ mod tests {
     #[test]
     fn single_point_is_front() {
         assert_eq!(pareto_front(&[vec![3.0, 3.0]]), vec![0]);
-        assert!(pareto_front(&[]).is_empty());
+        assert!(pareto_front::<Vec<f64>>(&[]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,371 @@
+//! Two-tier content-addressed result cache.
+//!
+//! Tier 1 is a bounded in-memory LRU; tier 2 is an optional on-disk JSON
+//! store (one `{key:016x}.json` file per entry, by convention under
+//! `results/cache/`) that survives process restarts. Keys are the stable
+//! content digests produced by [`crate::digest`], mixed with a cache
+//! salt — callers fold [`crate::CODE_VERSION_SALT`] plus any
+//! instance-level context (image size, noise seed, …) into the salt so
+//! an entry can never be replayed into a build or context it doesn't
+//! belong to.
+
+use serde_json::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::digest::mix64;
+
+/// Conversion between a cached value and its on-disk JSON form.
+///
+/// `to_cache_json` returns `None` when a value cannot be represented
+/// (e.g. a non-finite float — JSON has no encoding for it); such values
+/// simply stay memory-only.
+pub trait CacheCodec: Sized {
+    /// Encodes the value for the disk tier, or `None` if unencodable.
+    fn to_cache_json(&self) -> Option<Value>;
+    /// Decodes a value previously written by `to_cache_json`; `None` on
+    /// a malformed or foreign file (treated as a miss, never an error).
+    fn from_cache_json(value: &Value) -> Option<Self>;
+}
+
+impl CacheCodec for f64 {
+    fn to_cache_json(&self) -> Option<Value> {
+        serde_json::Number::from_f64(*self).map(Value::Number)
+    }
+
+    fn from_cache_json(value: &Value) -> Option<Self> {
+        value.as_f64()
+    }
+}
+
+impl CacheCodec for Vec<f64> {
+    fn to_cache_json(&self) -> Option<Value> {
+        let items: Option<Vec<Value>> = self.iter().map(|v| v.to_cache_json()).collect();
+        items.map(Value::Array)
+    }
+
+    fn from_cache_json(value: &Value) -> Option<Self> {
+        value.as_array()?.iter().map(|v| v.as_f64()).collect()
+    }
+}
+
+impl CacheCodec for u64 {
+    fn to_cache_json(&self) -> Option<Value> {
+        Some(Value::from(*self))
+    }
+
+    fn from_cache_json(value: &Value) -> Option<Self> {
+        value.as_u64()
+    }
+}
+
+/// Counters of a [`ResultCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups answered from the disk tier (these also warm memory).
+    pub disk_hits: u64,
+    /// Lookups that found nothing in either tier.
+    pub misses: u64,
+    /// Values stored (via `insert` or `get_or_compute` misses).
+    pub insertions: u64,
+    /// Entries dropped from memory by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently resident in memory.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Combined (memory + disk) hit ratio in `[0, 1]`.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.disk_hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            (self.hits + self.disk_hits) as f64 / total as f64
+        }
+    }
+}
+
+/// Bounded LRU keyed by `u64` digests: the map holds the value and its
+/// last-use tick; the tick index finds the coldest entry in O(log n).
+#[derive(Debug)]
+struct Lru<V> {
+    map: HashMap<u64, (V, u64)>,
+    by_tick: BTreeMap<u64, u64>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl<V> Lru<V> {
+    fn new(capacity: usize) -> Lru<V> {
+        Lru { map: HashMap::new(), by_tick: BTreeMap::new(), tick: 0, capacity: capacity.max(1) }
+    }
+
+    fn touch(&mut self, key: u64) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (value, old_tick) = self.map.get_mut(&key)?;
+        self.by_tick.remove(old_tick);
+        *old_tick = tick;
+        self.by_tick.insert(tick, key);
+        Some(value)
+    }
+
+    /// Inserts and returns how many entries were evicted to stay in
+    /// bounds.
+    fn insert(&mut self, key: u64, value: V) -> u64 {
+        self.tick += 1;
+        if let Some((_, old_tick)) = self.map.insert(key, (value, self.tick)) {
+            self.by_tick.remove(&old_tick);
+        }
+        self.by_tick.insert(self.tick, key);
+        let mut evicted = 0;
+        while self.map.len() > self.capacity {
+            let (&coldest_tick, &coldest_key) =
+                self.by_tick.iter().next().expect("LRU tick index tracks map");
+            self.by_tick.remove(&coldest_tick);
+            self.map.remove(&coldest_key);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// A two-tier (memory LRU + optional disk) content-addressed cache.
+///
+/// # Examples
+///
+/// ```
+/// use clapped_exec::ResultCache;
+///
+/// let cache: ResultCache<Vec<f64>> = ResultCache::in_memory(128);
+/// let v = cache.get_or_compute(1234, || vec![1.0, 2.0]);
+/// let w = cache.get_or_compute(1234, || unreachable!("warm"));
+/// assert_eq!(v, w);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct ResultCache<V> {
+    lru: Mutex<Lru<V>>,
+    disk_dir: Option<PathBuf>,
+    salt: u64,
+    hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V: Clone + CacheCodec> ResultCache<V> {
+    /// A memory-only cache holding at most `capacity` entries.
+    pub fn in_memory(capacity: usize) -> ResultCache<V> {
+        ResultCache {
+            lru: Mutex::new(Lru::new(capacity)),
+            disk_dir: None,
+            salt: 0,
+            hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache with a persistent disk tier under `dir` (created on first
+    /// write). Disk I/O failures are silently treated as misses — the
+    /// cache is an accelerator, never a correctness dependency.
+    pub fn with_disk(capacity: usize, dir: impl AsRef<Path>) -> ResultCache<V> {
+        let mut cache = ResultCache::in_memory(capacity);
+        cache.disk_dir = Some(dir.as_ref().to_path_buf());
+        cache
+    }
+
+    /// Folds `salt` into every key, partitioning this cache's entries
+    /// from any other salt's (use for code version + instance context).
+    #[must_use]
+    pub fn salted(mut self, salt: u64) -> ResultCache<V> {
+        self.salt = self.salt.wrapping_add(mix64(salt));
+        self
+    }
+
+    fn mixed(&self, key: u64) -> u64 {
+        mix64(key ^ self.salt)
+    }
+
+    fn disk_path(&self, mixed: u64) -> Option<PathBuf> {
+        self.disk_dir.as_ref().map(|d| d.join(format!("{mixed:016x}.json")))
+    }
+
+    fn disk_read(&self, mixed: u64) -> Option<V> {
+        let text = std::fs::read_to_string(self.disk_path(mixed)?).ok()?;
+        let value = serde_json::from_str(&text).ok()?;
+        V::from_cache_json(&value)
+    }
+
+    fn disk_write(&self, mixed: u64, value: &V) {
+        let (Some(dir), Some(path)) = (self.disk_dir.as_ref(), self.disk_path(mixed)) else {
+            return;
+        };
+        let Some(json) = value.to_cache_json() else {
+            return; // unencodable (e.g. non-finite float): memory-only
+        };
+        let Ok(text) = serde_json::to_string(&json) else {
+            return;
+        };
+        if std::fs::create_dir_all(dir).is_ok() {
+            let _ = std::fs::write(path, text);
+        }
+    }
+
+    /// Looks `key` up in memory, then disk. A disk hit is promoted into
+    /// the memory tier.
+    pub fn get(&self, key: u64) -> Option<V> {
+        let mixed = self.mixed(key);
+        {
+            let mut lru = self.lru.lock().expect("cache lock poisoned");
+            if let Some(v) = lru.touch(mixed) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(v.clone());
+            }
+        }
+        if let Some(v) = self.disk_read(mixed) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            let evicted =
+                self.lru.lock().expect("cache lock poisoned").insert(mixed, v.clone());
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            return Some(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores `value` under `key` in both tiers.
+    pub fn insert(&self, key: u64, value: V) {
+        let mixed = self.mixed(key);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.disk_write(mixed, &value);
+        let evicted = self.lru.lock().expect("cache lock poisoned").insert(mixed, value);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Returns the cached value for `key`, computing and storing it on a
+    /// miss. The computation runs **outside** the lock (evaluations are
+    /// expensive and pure, so a racing duplicate computation is cheaper
+    /// than serializing every evaluation behind one mutex — last write
+    /// wins with an identical value).
+    pub fn get_or_compute(&self, key: u64, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.get(key) {
+            return v;
+        }
+        let v = compute();
+        self.insert(key, v.clone());
+        v
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.lru.lock().expect("cache lock poisoned").map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_cache_skips_recompute() {
+        let cache: ResultCache<f64> = ResultCache::in_memory(16);
+        let mut computed = 0;
+        let a = cache.get_or_compute(7, || {
+            computed += 1;
+            1.5
+        });
+        let b = cache.get_or_compute(7, || {
+            computed += 1;
+            unreachable!("warm entry must not recompute")
+        });
+        assert_eq!(a, b);
+        assert_eq!(computed, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_coldest_first() {
+        let cache: ResultCache<f64> = ResultCache::in_memory(2);
+        cache.insert(1, 1.0);
+        cache.insert(2, 2.0);
+        assert_eq!(cache.get(1), Some(1.0)); // 2 is now coldest
+        cache.insert(3, 3.0);
+        assert_eq!(cache.get(2), None, "coldest entry evicted");
+        assert_eq!(cache.get(1), Some(1.0));
+        assert_eq!(cache.get(3), Some(3.0));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn salt_partitions_keys() {
+        let plain: ResultCache<f64> = ResultCache::in_memory(8);
+        let salted: ResultCache<f64> = ResultCache::in_memory(8).salted(99);
+        plain.insert(5, 1.0);
+        salted.insert(5, 2.0);
+        // Same logical key, different salts → both caches keep their own value.
+        assert_eq!(plain.get(5), Some(1.0));
+        assert_eq!(salted.get(5), Some(2.0));
+        assert_ne!(plain.mixed(5), salted.mixed(5));
+    }
+
+    #[test]
+    fn disk_tier_survives_a_fresh_cache() {
+        let dir = std::env::temp_dir().join(format!("clapped-exec-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache: ResultCache<Vec<f64>> = ResultCache::with_disk(8, &dir);
+            cache.insert(42, vec![1.0, 2.5]);
+        }
+        let fresh: ResultCache<Vec<f64>> = ResultCache::with_disk(8, &dir);
+        assert_eq!(fresh.get(42), Some(vec![1.0, 2.5]));
+        let stats = fresh.stats();
+        assert_eq!((stats.disk_hits, stats.hits), (1, 0));
+        // Promoted into memory: second read is a memory hit.
+        assert_eq!(fresh.get(42), Some(vec![1.0, 2.5]));
+        assert_eq!(fresh.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_finite_values_stay_memory_only() {
+        let dir =
+            std::env::temp_dir().join(format!("clapped-exec-test-nan-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache: ResultCache<f64> = ResultCache::with_disk(8, &dir);
+        cache.insert(1, f64::NAN);
+        assert!(cache.get(1).map(f64::is_nan).unwrap_or(false));
+        let fresh: ResultCache<f64> = ResultCache::with_disk(8, &dir);
+        assert_eq!(fresh.get(1), None, "NaN must not round-trip through disk");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_disk_files_are_misses() {
+        let dir =
+            std::env::temp_dir().join(format!("clapped-exec-test-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache: ResultCache<Vec<f64>> = ResultCache::with_disk(8, &dir);
+        let mixed = cache.mixed(9);
+        std::fs::write(dir.join(format!("{mixed:016x}.json")), "not json at all").unwrap();
+        assert_eq!(cache.get(9), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,169 @@
+//! Unbounded concurrent memo table for compute-once-per-process
+//! artifacts.
+//!
+//! Unlike [`crate::ResultCache`], a [`Memo`] never evicts and computes
+//! **under the lock**, so a value is computed at most once per process
+//! even when many threads race for the same key — exactly the contract
+//! an operator behavioural table needs (a 65k-entry exhaustive netlist
+//! simulation should never run twice for the same netlist).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Hit/miss counters of a [`Memo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Lookups answered from the table.
+    pub hits: u64,
+    /// Lookups that had to compute the value.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl MemoStats {
+    /// Hit ratio in `[0, 1]`; `0` when no lookups happened yet.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent, unbounded, compute-once memo table.
+///
+/// # Examples
+///
+/// ```
+/// use clapped_exec::Memo;
+///
+/// let memo: Memo<u32, Vec<u32>> = Memo::new();
+/// let v = memo.get_or_insert_with(3, || vec![3; 4]);
+/// let w = memo.get_or_insert_with(3, || unreachable!("computed once"));
+/// assert_eq!(v, w);
+/// assert_eq!(memo.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct Memo<K, V> {
+    table: Mutex<HashMap<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for Memo<K, V> {
+    fn default() -> Self {
+        Memo::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
+    /// An empty memo table.
+    pub fn new() -> Memo<K, V> {
+        Memo {
+            table: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the memoized value for `key`, computing and storing it on
+    /// first use. The computation runs while holding the table lock:
+    /// strict once-per-process semantics, at the cost of serializing
+    /// concurrent *misses*. Hits only briefly take the lock to clone.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let mut table = self.table.lock().expect("memo lock poisoned");
+        if let Some(v) = table.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute();
+        table.insert(key, v.clone());
+        v
+    }
+
+    /// Returns the memoized value for `key` without computing.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let table = self.table.lock().expect("memo lock poisoned");
+        let found = table.get(key).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Current hit/miss/size counters.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.table.lock().expect("memo lock poisoned").len(),
+        }
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.table.lock().expect("memo lock poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn computes_each_key_once() {
+        let memo: Memo<u32, u64> = Memo::new();
+        let computed = AtomicU64::new(0);
+        for _ in 0..10 {
+            for k in 0..3u32 {
+                let v = memo.get_or_insert_with(k, || {
+                    computed.fetch_add(1, Ordering::Relaxed);
+                    u64::from(k) * 100
+                });
+                assert_eq!(v, u64::from(k) * 100);
+            }
+        }
+        assert_eq!(computed.load(Ordering::Relaxed), 3);
+        let stats = memo.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 27);
+        assert_eq!(stats.entries, 3);
+    }
+
+    #[test]
+    fn once_per_process_under_contention() {
+        let memo: Memo<u8, u64> = Memo::new();
+        let computed = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        memo.get_or_insert_with(1, || {
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            42
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 1, "strict once-per-process");
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let memo: Memo<u8, u8> = Memo::new();
+        assert_eq!(memo.stats().hit_ratio(), 0.0);
+        memo.get_or_insert_with(1, || 1);
+        memo.get_or_insert_with(1, || 1);
+        assert!((memo.stats().hit_ratio() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,160 @@
+//! Stable content digests for netlists and fault sets.
+//!
+//! These digests are the cache keys of everything downstream — operator
+//! behavioural tables, fault-campaign results, full cross-layer
+//! configuration evaluations — so they must be a pure function of the
+//! netlist *content* (structure, connectivity, port names), stable
+//! across runs and processes. They are built on the fixed FNV-1a
+//! encoding from `clapped-exec`, not on `std::hash`, which guarantees
+//! neither.
+
+use crate::fault::FaultSet;
+use crate::ir::{Gate, Netlist};
+use clapped_exec::{digest_of, Digestible, Fnv64};
+
+impl Digestible for Gate {
+    fn feed(&self, h: &mut Fnv64) {
+        // Variant tag first, then fanin indices; tags are arbitrary but
+        // frozen — reordering this enum must not change digests.
+        match self {
+            Gate::Input { name } => {
+                h.write_u64(1);
+                h.write_str(name);
+            }
+            Gate::Const(c) => {
+                h.write_u64(2);
+                h.write_u64(u64::from(*c));
+            }
+            Gate::Buf(a) => {
+                h.write_u64(3);
+                h.write_u64(a.index() as u64);
+            }
+            Gate::Not(a) => {
+                h.write_u64(4);
+                h.write_u64(a.index() as u64);
+            }
+            Gate::And(a, b) => feed2(h, 5, a.index(), b.index()),
+            Gate::Or(a, b) => feed2(h, 6, a.index(), b.index()),
+            Gate::Xor(a, b) => feed2(h, 7, a.index(), b.index()),
+            Gate::Nand(a, b) => feed2(h, 8, a.index(), b.index()),
+            Gate::Nor(a, b) => feed2(h, 9, a.index(), b.index()),
+            Gate::Xnor(a, b) => feed2(h, 10, a.index(), b.index()),
+            Gate::Mux { sel, t, f } => {
+                h.write_u64(11);
+                h.write_u64(sel.index() as u64);
+                h.write_u64(t.index() as u64);
+                h.write_u64(f.index() as u64);
+            }
+            Gate::Maj(a, b, c) => {
+                h.write_u64(12);
+                h.write_u64(a.index() as u64);
+                h.write_u64(b.index() as u64);
+                h.write_u64(c.index() as u64);
+            }
+        }
+    }
+}
+
+fn feed2(h: &mut Fnv64, tag: u64, a: usize, b: usize) {
+    h.write_u64(tag);
+    h.write_u64(a as u64);
+    h.write_u64(b as u64);
+}
+
+impl Digestible for Netlist {
+    fn feed(&self, h: &mut Fnv64) {
+        h.write_str(self.name());
+        h.write_u64(self.gates().len() as u64);
+        for g in self.gates() {
+            g.feed(h);
+        }
+        h.write_u64(self.inputs().len() as u64);
+        for s in self.inputs() {
+            h.write_u64(s.index() as u64);
+        }
+        h.write_u64(self.outputs().len() as u64);
+        for (name, s) in self.outputs() {
+            h.write_str(name);
+            h.write_u64(s.index() as u64);
+        }
+    }
+}
+
+impl Netlist {
+    /// Stable 64-bit content digest of this netlist (structure,
+    /// connectivity and port names). Two structurally identical netlists
+    /// digest identically in any process on any platform; use it as a
+    /// cache / memo key for anything derived purely from the netlist.
+    pub fn content_digest(&self) -> u64 {
+        digest_of(self)
+    }
+}
+
+impl Digestible for FaultSet {
+    fn feed(&self, h: &mut Fnv64) {
+        h.write_u64(self.entries().len() as u64);
+        for &(index, and_mask, or_mask, xor_mask) in self.entries() {
+            h.write_u64(index as u64);
+            h.write_u64(and_mask);
+            h.write_u64(or_mask);
+            h.write_u64(xor_mask);
+        }
+    }
+}
+
+impl FaultSet {
+    /// Stable 64-bit content digest of the injected fault masks.
+    pub fn content_digest(&self) -> u64 {
+        digest_of(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultKind;
+    use crate::ir::SignalId;
+
+    fn xor_chain(name: &str) -> Netlist {
+        let mut n = Netlist::new(name);
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.xor(a, b);
+        n.output("x", x);
+        n
+    }
+
+    #[test]
+    fn identical_netlists_digest_identically() {
+        assert_eq!(xor_chain("t").content_digest(), xor_chain("t").content_digest());
+    }
+
+    #[test]
+    fn structure_name_and_ports_all_matter() {
+        let base = xor_chain("t").content_digest();
+        assert_ne!(base, xor_chain("u").content_digest(), "name");
+        let mut other = Netlist::new("t");
+        let a = other.input("a");
+        let b = other.input("b");
+        let x = other.and(a, b);
+        other.output("x", x);
+        assert_ne!(base, other.content_digest(), "gate type");
+        let mut renamed = Netlist::new("t");
+        let a = renamed.input("a");
+        let b = renamed.input("b");
+        let x = renamed.xor(a, b);
+        renamed.output("y", x);
+        assert_ne!(base, renamed.content_digest(), "output port name");
+    }
+
+    #[test]
+    fn fault_set_digest_tracks_content() {
+        let s = SignalId::from_index(3);
+        let a = FaultSet::empty().stuck_at(s, FaultKind::StuckAt0);
+        let b = FaultSet::empty().stuck_at(s, FaultKind::StuckAt0);
+        let c = FaultSet::empty().stuck_at(s, FaultKind::StuckAt1);
+        assert_eq!(a.content_digest(), b.content_digest());
+        assert_ne!(a.content_digest(), c.content_digest());
+        assert_ne!(a.content_digest(), FaultSet::empty().content_digest());
+    }
+}

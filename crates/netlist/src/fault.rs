@@ -101,6 +101,12 @@ impl FaultSet {
     fn max_index(&self) -> Option<usize> {
         self.entries.iter().map(|e| e.0).max()
     }
+
+    /// The raw `(signal index, and, or, xor)` mask entries, for content
+    /// digesting.
+    pub(crate) fn entries(&self) -> &[(usize, u64, u64, u64)] {
+        &self.entries
+    }
 }
 
 impl From<Fault> for FaultSet {
@@ -286,13 +292,38 @@ impl Netlist {
         input_batches: &[Vec<u64>],
         lanes_per_batch: usize,
     ) -> crate::Result<CampaignReport> {
+        self.stuck_at_campaign_with(
+            sites,
+            input_batches,
+            lanes_per_batch,
+            &clapped_exec::Engine::serial(),
+        )
+    }
+
+    /// [`Netlist::stuck_at_campaign`] with the per-site sweep fanned out
+    /// over `engine`'s thread pool. Each site's simulation is an
+    /// independent pure function of the netlist and inputs, and results
+    /// are collected in site order, so the report is bit-identical to
+    /// the serial campaign at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// See [`Netlist::eval_words_with_faults`].
+    pub fn stuck_at_campaign_with(
+        &self,
+        sites: &[Fault],
+        input_batches: &[Vec<u64>],
+        lanes_per_batch: usize,
+        engine: &clapped_exec::Engine,
+    ) -> crate::Result<CampaignReport> {
         assert!((1..=64).contains(&lanes_per_batch), "1..=64 lanes per batch");
         let lane_mask: u64 = if lanes_per_batch == 64 {
             !0
         } else {
             (1u64 << lanes_per_batch) - 1
         };
-        // Golden outputs per batch.
+        // Golden outputs per batch, computed once and shared by all
+        // worker threads.
         let golden: Vec<Vec<u64>> = input_batches
             .iter()
             .map(|b| self.simulate_words_with_faults(b, &FaultSet::empty()))
@@ -300,28 +331,41 @@ impl Netlist {
         let out_bits = self.outputs().len();
         let max_weight: f64 = (0..out_bits).map(|k| (k as f64).exp2()).sum();
         let samples = input_batches.len() * lanes_per_batch;
-        let mut sites_out = Vec::with_capacity(sites.len());
-        for &fault in sites {
-            let set = FaultSet::from(fault);
-            let mut mismatched_lanes = 0usize;
-            let mut weighted = 0.0f64;
-            for (batch, gold) in input_batches.iter().zip(&golden) {
-                let outs = self.simulate_words_with_faults(batch, &set)?;
-                let mut any_diff = 0u64;
-                for (k, (o, g)) in outs.iter().zip(gold).enumerate() {
-                    let diff = (o ^ g) & lane_mask;
-                    any_diff |= diff;
-                    weighted += diff.count_ones() as f64 * (k as f64).exp2();
-                }
-                mismatched_lanes += any_diff.count_ones() as usize;
-            }
-            sites_out.push(FaultSiteReport {
-                fault,
-                mismatch_rate: mismatched_lanes as f64 / samples as f64,
-                weighted_error: weighted / (samples as f64 * max_weight),
-            });
-        }
+        let sites_out = engine.try_evaluate_many(sites, |_, &fault| {
+            self.sweep_one_site(fault, input_batches, &golden, lane_mask, max_weight, samples)
+        })?;
         Ok(CampaignReport { sites: sites_out, samples })
+    }
+
+    /// Simulates every input batch under one injected fault and folds
+    /// the mismatch statistics — the unit of work a campaign fans out.
+    fn sweep_one_site(
+        &self,
+        fault: Fault,
+        input_batches: &[Vec<u64>],
+        golden: &[Vec<u64>],
+        lane_mask: u64,
+        max_weight: f64,
+        samples: usize,
+    ) -> crate::Result<FaultSiteReport> {
+        let set = FaultSet::from(fault);
+        let mut mismatched_lanes = 0usize;
+        let mut weighted = 0.0f64;
+        for (batch, gold) in input_batches.iter().zip(golden) {
+            let outs = self.simulate_words_with_faults(batch, &set)?;
+            let mut any_diff = 0u64;
+            for (k, (o, g)) in outs.iter().zip(gold).enumerate() {
+                let diff = (o ^ g) & lane_mask;
+                any_diff |= diff;
+                weighted += diff.count_ones() as f64 * (k as f64).exp2();
+            }
+            mismatched_lanes += any_diff.count_ones() as usize;
+        }
+        Ok(FaultSiteReport {
+            fault,
+            mismatch_rate: mismatched_lanes as f64 / samples as f64,
+            weighted_error: weighted / (samples as f64 * max_weight),
+        })
     }
 
     /// Runs a transient (bit-flip) campaign: `rounds` random single-net
@@ -495,6 +539,42 @@ mod tests {
                 .weighted_error
         };
         assert!(find(cout_sig, FaultKind::StuckAt1) > find(lsb_sig, FaultKind::StuckAt1));
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial_bit_for_bit() {
+        let mut n = Netlist::new("add2");
+        let a = n.input_bus("a", 2);
+        let b = n.input_bus("b", 2);
+        let (sum, carry) = crate::bus::ripple_carry_add(&mut n, &a, &b, None);
+        n.output_bus("s", &sum);
+        n.output("cout", carry);
+        let pairs: Vec<(i64, i64)> = (0..4).flat_map(|x| (0..4).map(move |y| (x, y))).collect();
+        let a_words = pack_bus_samples(&pairs.iter().map(|p| p.0).collect::<Vec<_>>(), 2);
+        let b_words = pack_bus_samples(&pairs.iter().map(|p| p.1).collect::<Vec<_>>(), 2);
+        let mut batch = a_words;
+        batch.extend(b_words);
+        let sites = n.fault_sites();
+        let serial = n.stuck_at_campaign(&sites, &[batch.clone()], 16).unwrap();
+        for jobs in [2, 8] {
+            let engine = clapped_exec::Engine::new(clapped_exec::ExecConfig::with_jobs(jobs));
+            let par = n.stuck_at_campaign_with(&sites, &[batch.clone()], 16, &engine).unwrap();
+            assert_eq!(serial, par, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_campaign_reports_deterministic_error() {
+        let n = xor_chain();
+        // An out-of-range site mixed into valid ones: the reported error
+        // must be the same regardless of thread interleaving.
+        let mut sites = n.fault_sites();
+        sites.insert(1, Fault { signal: SignalId::from_index(99), kind: FaultKind::StuckAt0 });
+        let engine = clapped_exec::Engine::new(clapped_exec::ExecConfig::with_jobs(4));
+        let err = n
+            .stuck_at_campaign_with(&sites, &[vec![0b1010, 0b0110]], 4, &engine)
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::InvalidFaultSite { index: 99, .. }));
     }
 
     #[test]

@@ -37,6 +37,7 @@
 
 pub mod bdd;
 pub mod bus;
+mod digest;
 mod fault;
 mod ir;
 mod map;

@@ -239,19 +239,23 @@ pub fn map_luts(netlist: &Netlist, k: usize, strategy: MapStrategy) -> crate::Re
                 .map(|&l| best_af[l as usize] / f64::from(fanout[l as usize].max(1)))
                 .sum::<f64>()
         };
+        // Total order (f64::total_cmp) so a NaN area flow can never
+        // panic or produce an inconsistent sort.
         match strategy {
             MapStrategy::Depth => {
                 merged.sort_by(|a, b| {
-                    (depth_of(a), af_of(a), a.len())
-                        .partial_cmp(&(depth_of(b), af_of(b), b.len()))
-                        .expect("area flow is finite")
+                    depth_of(a)
+                        .cmp(&depth_of(b))
+                        .then(af_of(a).total_cmp(&af_of(b)))
+                        .then(a.len().cmp(&b.len()))
                 });
             }
             MapStrategy::Area => {
                 merged.sort_by(|a, b| {
-                    (af_of(a), depth_of(a), a.len())
-                        .partial_cmp(&(af_of(b), depth_of(b), b.len()))
-                        .expect("area flow is finite")
+                    af_of(a)
+                        .total_cmp(&af_of(b))
+                        .then(depth_of(a).cmp(&depth_of(b)))
+                        .then(a.len().cmp(&b.len()))
                 });
             }
         }

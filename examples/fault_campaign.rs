@@ -2,17 +2,39 @@
 //! multiplier: rank every stuck-at site at the netlist level, then
 //! measure true application-quality degradation for the worst nets.
 //!
-//! Run with: `cargo run --release --example fault_campaign`
+//! Run with: `cargo run --release --example fault_campaign [-- --jobs N]`
+//!
+//! `--jobs N` sets the evaluation-engine thread count (default: all
+//! cores; results are bit-identical at any setting).
 
 use clapped::axops::{Catalog, Mul8s};
 use clapped::core::{Clapped, FaultCampaignConfig};
 use clapped::dse::Configuration;
+use clapped::exec::{Engine, ExecConfig};
 use clapped::netlist::{FaultKind, FaultSet};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::error::Error;
 
+/// Parses `--jobs N` / `--jobs=N` from the command line (0 = auto).
+fn jobs_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            return args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().unwrap_or(0);
+        }
+    }
+    0
+}
+
 fn main() -> Result<(), Box<dyn Error>> {
+    let jobs = jobs_from_args();
+    let engine = Engine::new(ExecConfig::with_jobs(jobs));
+    println!("evaluation engine: {} worker thread(s)", engine.jobs());
+
     // 1. Gate-level campaign on the operator's synthesized netlist.
     let catalog = Catalog::standard();
     let approx = catalog.get("mul8s_1KVL").expect("paper alias resolves");
@@ -28,7 +50,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let batches: Vec<Vec<u64>> = (0..8)
         .map(|_| (0..netlist.inputs().len()).map(|_| rng.next_u64()).collect())
         .collect();
-    let report = netlist.stuck_at_campaign(&netlist.fault_sites(), &batches, 64)?;
+    let report = netlist.stuck_at_campaign_with(&netlist.fault_sites(), &batches, 64, &engine)?;
     println!(
         "netlist pre-screen: {} samples/site, {:.1}% of sites logically masked",
         report.samples,
@@ -60,7 +82,11 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // 2. Cross-layer campaign: lift the worst faults into the denoising
     //    application and measure quality degradation (paper-level view).
-    let fw = Clapped::builder().image_size(32).noise_sigma(12.0).build()?;
+    let fw = Clapped::builder()
+        .image_size(32)
+        .noise_sigma(12.0)
+        .exec(ExecConfig::with_jobs(jobs))
+        .build()?;
     let mul_index = fw
         .catalog()
         .iter()

@@ -21,6 +21,8 @@
 //! - [`imgproc`] — images, synthetic data, DoF-aware convolution engine.
 //! - [`accel`] — accelerator architectures and performance estimation.
 //! - [`dse`] — Pareto tools, hypervolume, MBO and baseline searches.
+//! - [`exec`] — deterministic parallel evaluation engine with
+//!   content-addressed result caching.
 //! - [`core`] — the CLAppED framework façade wiring all stages together.
 //!
 //! # Quick start
@@ -37,6 +39,7 @@ pub use clapped_axops as axops;
 pub use clapped_core as core;
 pub use clapped_dse as dse;
 pub use clapped_errmodel as errmodel;
+pub use clapped_exec as exec;
 pub use clapped_imgproc as imgproc;
 pub use clapped_la as la;
 pub use clapped_mlp as mlp;
