@@ -10,7 +10,7 @@
 
 use crate::table::exhaustive_pairs;
 use crate::{AxMul, Mul8s};
-use clapped_exec::Memo;
+use clapped_exec::{Memo, StructDigest};
 use clapped_netlist::{pack_bus_samples, unpack_bus_samples, FaultSet, Netlist};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
@@ -71,6 +71,7 @@ pub fn build_mul_table_with_faults(
 pub struct FaultedMul {
     name: String,
     table: Arc<[i16]>,
+    digest: u64,
 }
 
 impl FaultedMul {
@@ -100,6 +101,12 @@ impl FaultedMul {
         Ok(FaultedMul {
             name: format!("{}!faulty", base.name()),
             table,
+            // The faulted behaviour is fully determined by the (netlist,
+            // fault set) pair, so its digest is a stable behaviour key.
+            digest: StructDigest::new("FaultedMul")
+                .field("netlist", &key.0)
+                .field("faults", &key.1)
+                .finish(),
         })
     }
 
@@ -119,6 +126,15 @@ impl Mul8s for FaultedMul {
     fn mul(&self, a: i8, b: i8) -> i16 {
         let idx = ((a as u8 as usize) << 8) | (b as u8 as usize);
         self.table[idx]
+    }
+
+    fn column(&self, b: i8) -> Vec<i16> {
+        let b = b as u8 as usize;
+        (0..=127usize).map(|a| self.table[(a << 8) | b]).collect()
+    }
+
+    fn behaviour_digest(&self) -> Option<u64> {
+        Some(self.digest)
     }
 }
 

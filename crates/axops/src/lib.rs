@@ -73,6 +73,32 @@ pub trait Mul8s: Send + Sync + fmt::Debug {
 
     /// Multiplies two signed 8-bit values, possibly approximately.
     fn mul(&self, a: i8, b: i8) -> i16;
+
+    /// The operator's behavioural column for a fixed second operand:
+    /// entry `a` is `self.mul(a, b)` for `a in 0..=127`.
+    ///
+    /// This is the lowering hook for compiled convolution plans
+    /// (`clapped-imgproc`): quantized pixels only span `0..=127` and a
+    /// kernel coefficient is fixed per tap, so one column replaces the
+    /// per-pixel virtual `mul` dispatch with a direct 128-entry lookup.
+    /// Table-backed operators override this with a slice copy of their
+    /// existing 256×256 behavioural table; the default derives the
+    /// column through 128 `mul` calls.
+    fn column(&self, b: i8) -> Vec<i16> {
+        (0..=127i8).map(|a| self.mul(a, b)).collect()
+    }
+
+    /// A stable content digest of the operator's behaviour, if one is
+    /// available, used to memoize derived artifacts (e.g. compiled
+    /// convolution-plan LUTs) across operator instances. `None` opts out
+    /// of memoization: derived artifacts are rebuilt per use, which is
+    /// the safe default for operators without a cheap stable identity.
+    ///
+    /// Implementations must return equal digests only for operators with
+    /// identical `mul` behaviour.
+    fn behaviour_digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A library multiplier: an architecture instantiated into a gate-level
@@ -93,6 +119,7 @@ pub struct AxMul {
     arch: MulArch,
     netlist: Arc<Netlist>,
     table: Arc<[i16]>,
+    digest: u64,
 }
 
 impl AxMul {
@@ -112,11 +139,15 @@ impl AxMul {
         // architecture (e.g. every Catalog::standard() call) share one
         // table allocation and never re-simulate.
         let table = table::build_mul_table_cached(&netlist);
+        // The digest walks the whole netlist, so compute it once here:
+        // behaviour_digest() sits on the convolution-plan hot path.
+        let digest = netlist.content_digest();
         AxMul {
             name: name.into(),
             arch,
             netlist: Arc::new(netlist),
             table,
+            digest,
         }
     }
 
@@ -152,6 +183,20 @@ impl Mul8s for AxMul {
     fn mul(&self, a: i8, b: i8) -> i16 {
         let idx = ((a as u8 as usize) << 8) | (b as u8 as usize);
         self.table[idx]
+    }
+
+    fn column(&self, b: i8) -> Vec<i16> {
+        // Slice the existing behavioural table: row `a`, fixed column
+        // `b` — a strided copy, no simulation and no virtual calls.
+        let b = b as u8 as usize;
+        (0..=127usize).map(|a| self.table[(a << 8) | b]).collect()
+    }
+
+    fn behaviour_digest(&self) -> Option<u64> {
+        // The behavioural table is derived from the netlist by
+        // exhaustive simulation, so the netlist digest identifies the
+        // behaviour exactly (cached at construction).
+        Some(self.digest)
     }
 }
 
@@ -199,6 +244,24 @@ mod tests {
         let c = AxMul::new("third", MulArch::Truncated { k: 4 });
         assert!(a.shares_table_with(&b), "same netlist → one memoized table");
         assert!(!a.shares_table_with(&c), "different netlist → different table");
+    }
+
+    #[test]
+    fn column_matches_mul_and_digest_tracks_behaviour() {
+        let exact = AxMul::new("exact", MulArch::Exact);
+        let trunc = AxMul::new("trunc", MulArch::Truncated { k: 3 });
+        for m in [&exact, &trunc] {
+            for b in [-128i8, -17, 0, 1, 63, 127] {
+                let col = m.column(b);
+                assert_eq!(col.len(), 128);
+                for (a, &p) in col.iter().enumerate() {
+                    assert_eq!(p, m.mul(a as i8, b), "{}[{a}, {b}]", Mul8s::name(m));
+                }
+            }
+        }
+        assert_eq!(exact.behaviour_digest(), exact.behaviour_digest());
+        assert_ne!(exact.behaviour_digest(), trunc.behaviour_digest());
+        assert!(exact.behaviour_digest().is_some());
     }
 
     #[test]

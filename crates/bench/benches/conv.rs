@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the convolution hot path (compiled plans
+//! vs the naive reference, per cross-layer DoF) and for GP acquisition
+//! (per-point vs batched prediction).
+
+use clapped_axops::{Catalog, Mul8s};
+use clapped_dse::Gp;
+use clapped_imgproc::{ConvConfig, ConvEngine, ConvMode, Image, QuantKernel, SynthKind};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn taps(op: &Arc<clapped_axops::AxMul>, n: usize) -> Vec<Arc<dyn Mul8s>> {
+    (0..n).map(|_| op.clone() as Arc<dyn Mul8s>).collect()
+}
+
+fn bench_convolution(c: &mut Criterion) {
+    let catalog = Catalog::standard();
+    let op = catalog.get("mul8s_bam_v8_h3").expect("catalog operator");
+    let img = Image::synthetic(SynthKind::Blobs, 256, 256, 7);
+    let configs = [
+        ("2d_w3_s1", ConvConfig::default()),
+        (
+            "2d_w3_s2_down",
+            ConvConfig { stride: 2, downsample: true, ..ConvConfig::default() },
+        ),
+        (
+            "2d_w5_s1",
+            ConvConfig { window: 5, ..ConvConfig::default() },
+        ),
+        (
+            "sep_w3_s1",
+            ConvConfig { mode: ConvMode::Separable, ..ConvConfig::default() },
+        ),
+    ];
+    for (name, cfg) in configs {
+        let engine = ConvEngine::new(QuantKernel::gaussian(cfg.window, 0.85));
+        let muls = taps(&op, cfg.taps());
+        c.bench_function(&format!("conv_{name}_naive"), |b| {
+            b.iter(|| engine.convolve_naive(black_box(&img), &cfg, &muls).expect("valid"))
+        });
+        c.bench_function(&format!("conv_{name}_compiled"), |b| {
+            b.iter(|| engine.convolve(black_box(&img), &cfg, &muls).expect("valid"))
+        });
+    }
+}
+
+fn bench_acquisition(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let xs: Vec<Vec<f64>> = (0..150)
+        .map(|_| (0..10).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>()).collect();
+    let gp = Gp::fit(&xs, &ys).expect("fits");
+    let queries: Vec<Vec<f64>> = (0..50)
+        .map(|_| (0..10).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    c.bench_function("gp_predict_50pts_per_point", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| gp.predict(black_box(q)))
+                .collect::<Vec<_>>()
+        })
+    });
+    c.bench_function("gp_predict_50pts_batched", |b| {
+        b.iter(|| gp.predict_batch(black_box(&queries)).expect("valid"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_convolution, bench_acquisition
+}
+criterion_main!(benches);

@@ -381,6 +381,15 @@ impl Clapped {
         self.eval_cache.stats()
     }
 
+    /// Hit/miss counters of the process-wide compiled-convolution LUT
+    /// cache (`clapped-imgproc`'s plan compiler). A DSE run revisits the
+    /// same few hundred `(operator, coefficient)` pairs across thousands
+    /// of candidate evaluations, so after warm-up `misses` freezes while
+    /// `hits` keeps climbing.
+    pub fn plan_cache_stats(&self) -> clapped_exec::MemoStats {
+        clapped_imgproc::plan_cache_stats()
+    }
+
     /// Stable content digest of a configuration — the key under which
     /// this instance caches evaluation results and which
     /// [`clapped_dse::MboState`] checkpoints record per evaluation.
@@ -753,6 +762,21 @@ mod tests {
         assert_eq!(o1, o2);
         assert_eq!(o1[0].to_bits(), e1.to_bits());
         assert_eq!(fw.cache_stats().hits - after.hits, 1);
+    }
+
+    #[test]
+    fn plan_cache_warms_across_evaluations() {
+        let fw = small();
+        let c = Configuration::golden(3);
+        fw.evaluate_error(&c).unwrap();
+        let warm = fw.plan_cache_stats();
+        fw.evaluate_error(&c).unwrap();
+        let after = fw.plan_cache_stats();
+        // Re-evaluating an already-seen configuration lowers no new tap
+        // LUTs; it only hits the process-wide plan cache. (Concurrent
+        // tests may add their own misses, so only hit growth is
+        // asserted.)
+        assert!(after.hits > warm.hits, "plan LUTs are shared");
     }
 
     #[test]

@@ -3,6 +3,15 @@
 
 use crate::{DseError, Result};
 use clapped_la::{Cholesky, Mat, Standardizer};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Scratch for [`Gp::try_predict`]'s `k*` vector and variance solve:
+    /// single-point prediction runs millions of times per DSE, and the
+    /// two per-call heap allocations dominated its profile.
+    static PREDICT_SCRATCH: RefCell<(Vec<f64>, Vec<f64>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
 
 /// A Gaussian-process regressor with an RBF kernel.
 ///
@@ -139,6 +148,64 @@ impl Gp {
     /// Returns [`DseError::Surrogate`] when `x.len()` differs from the
     /// training dimension or contains non-finite values.
     pub fn try_predict(&self, x: &[f64]) -> Result<(f64, f64)> {
+        self.check_query(x)?;
+        let xq = self.x_std.transform_row(x);
+        PREDICT_SCRATCH.with(|scratch| {
+            let (k_star, v) = &mut *scratch.borrow_mut();
+            k_star.clear();
+            k_star.extend(self.train_x.iter().map(|xi| rbf(xi, &xq, self.lengthscale)));
+            let mean_t: f64 = k_star.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
+            // var = k(x,x) + noise - k*' K^-1 k*
+            v.clear();
+            v.extend_from_slice(k_star);
+            self.chol
+                .solve_in_place(v)
+                .map_err(|e| DseError::Surrogate(format!("variance solve failed: {e}")))?;
+            let quad: f64 = k_star.iter().zip(v.iter()).map(|(k, w)| k * w).sum();
+            Ok(self.finish(mean_t, quad))
+        })
+    }
+
+    /// Predicts `(mean, variance)` at many points at once. Numerically
+    /// identical to mapping [`Gp::predict`] over `xs`, but builds one
+    /// flat `k*` matrix and runs one batched triangular solve
+    /// ([`Cholesky::solve_many`]) instead of allocating and solving per
+    /// point — the shape the MBO acquisition loop needs, where every
+    /// iteration scores dozens of candidates against each objective's
+    /// surrogate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Surrogate`] when any row's dimension differs
+    /// from the training dimension or contains non-finite values.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<(f64, f64)>> {
+        let n = self.train_x.len();
+        for x in xs {
+            self.check_query(x)?;
+        }
+        let mut kstars = vec![0.0; xs.len() * n];
+        for (x, row) in xs.iter().zip(kstars.chunks_exact_mut(n)) {
+            let xq = self.x_std.transform_row(x);
+            for (xi, k) in self.train_x.iter().zip(row.iter_mut()) {
+                *k = rbf(xi, &xq, self.lengthscale);
+            }
+        }
+        let mut vs = kstars.clone();
+        self.chol
+            .solve_many(&mut vs)
+            .map_err(|e| DseError::Surrogate(format!("variance solve failed: {e}")))?;
+        Ok(kstars
+            .chunks_exact(n)
+            .zip(vs.chunks_exact(n))
+            .map(|(k_star, v)| {
+                let mean_t: f64 = k_star.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
+                let quad: f64 = k_star.iter().zip(v).map(|(k, w)| k * w).sum();
+                self.finish(mean_t, quad)
+            })
+            .collect())
+    }
+
+    fn check_query(&self, x: &[f64]) -> Result<()> {
         if x.len() != self.train_x[0].len() {
             return Err(DseError::Surrogate(format!(
                 "query dim {} vs training dim {}",
@@ -149,24 +216,16 @@ impl Gp {
         if x.iter().any(|v| !v.is_finite()) {
             return Err(DseError::Surrogate(format!("non-finite query point {x:?}")));
         }
-        let xq = self.x_std.transform_row(x);
-        let k_star: Vec<f64> = self
-            .train_x
-            .iter()
-            .map(|xi| rbf(xi, &xq, self.lengthscale))
-            .collect();
-        let mean_t: f64 = k_star.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
-        // var = k(x,x) + noise - k*' K^-1 k*
-        let v = self
-            .chol
-            .solve(&k_star)
-            .map_err(|e| DseError::Surrogate(format!("variance solve failed: {e}")))?;
-        let quad: f64 = k_star.iter().zip(&v).map(|(k, w)| k * w).sum();
+        Ok(())
+    }
+
+    /// Destandardizes a `(mean, quad)` pair into output units.
+    fn finish(&self, mean_t: f64, quad: f64) -> (f64, f64) {
         let var_t = (1.0 + self.noise - quad).max(0.0);
-        Ok((
+        (
             mean_t * self.y_scale + self.y_mean,
             var_t * self.y_scale * self.y_scale,
-        ))
+        )
     }
 
     /// The selected kernel lengthscale (standardized units).
@@ -261,6 +320,43 @@ mod tests {
         assert!(gp.try_predict(&[1.0, 2.0]).is_err());
         assert!(gp.try_predict(&[f64::NAN]).is_err());
         assert!(gp.try_predict(&[2.0]).is_ok());
+    }
+
+    #[test]
+    fn batched_prediction_matches_single_point_exactly() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..7 {
+            for j in 0..4 {
+                xs.push(vec![i as f64, j as f64 * 0.5]);
+                ys.push((i as f64).sin() + j as f64);
+            }
+        }
+        let gp = Gp::fit(&xs, &ys).unwrap();
+        let queries: Vec<Vec<f64>> = vec![
+            vec![0.0, 0.0],
+            vec![3.3, 1.1],
+            vec![-2.0, 7.0],
+            vec![6.0, 1.5],
+        ];
+        let batch = gp.predict_batch(&queries).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, &(bm, bv)) in queries.iter().zip(&batch) {
+            let (m, v) = gp.predict(q);
+            // Same arithmetic in the same order: bitwise equality.
+            assert_eq!(bm, m, "mean at {q:?}");
+            assert_eq!(bv, v, "variance at {q:?}");
+        }
+        assert!(gp.predict_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batched_prediction_rejects_bad_rows() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let gp = Gp::fit(&xs, &ys).unwrap();
+        assert!(gp.predict_batch(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(gp.predict_batch(&[vec![f64::NAN]]).is_err());
     }
 
     #[test]

@@ -346,20 +346,23 @@ impl<C: Clone> MboState<C> {
         // clustering on one spot.
         let mut working: Vec<Vec<f64>> =
             self.evaluated.iter().map(|(_, o)| o.clone()).collect();
-        let mut candidates: Vec<(Vec<f64>, C)> = (0..self.config.candidates)
-            .map(|_| {
-                let c = sample(&mut self.rng);
-                let x = encode(&c);
-                let pred: Vec<f64> = gps
-                    .iter()
-                    .map(|g| {
-                        let (mean, var) = g.predict(&x);
-                        mean - self.config.kappa * var.max(0.0).sqrt()
-                    })
-                    .collect();
-                (pred, c)
-            })
+        // Sample every candidate up front (keeping the RNG stream
+        // identical to per-candidate prediction, which never touched it),
+        // then batch-predict all of them per objective: one flat k*
+        // matrix and one batched triangular solve per GP instead of
+        // candidates × objectives allocating solves.
+        let sampled: Vec<C> = (0..self.config.candidates)
+            .map(|_| sample(&mut self.rng))
             .collect();
+        let encoded: Vec<Vec<f64>> = sampled.iter().map(encode).collect();
+        let mut preds: Vec<Vec<f64>> =
+            sampled.iter().map(|_| Vec::with_capacity(d)).collect();
+        for g in &gps {
+            for (pred, (mean, var)) in preds.iter_mut().zip(g.predict_batch(&encoded)?) {
+                pred.push(mean - self.config.kappa * var.max(0.0).sqrt());
+            }
+        }
+        let mut candidates: Vec<(Vec<f64>, C)> = preds.into_iter().zip(sampled).collect();
         let n_random =
             ((self.config.batch as f64) * self.config.explore_fraction).round() as usize;
         let n_guided = self.config.batch.saturating_sub(n_random).min(candidates.len());

@@ -1,6 +1,16 @@
 //! The cross-layer DoF-aware convolution engine.
+//!
+//! Execution is **plan-compiled**: [`ConvEngine::convolve`] lowers each
+//! tap's `(operator, coefficient)` pair into a 128-entry column LUT
+//! (see [`crate::plan`]) and runs an interior/border split — interior
+//! rows take a clamp-free sliding loop over flat row slices, only the
+//! `window/2` border ring pays clamped access. The historical
+//! per-pixel virtual-dispatch path is kept as
+//! [`ConvEngine::convolve_naive`], the bit-identical reference the
+//! property tests and benchmarks compare against.
 
-use crate::{ConvError, Image, QuantKernel, Result};
+use crate::plan::ConvPlan;
+use crate::{ConvError, Image, QuantKernel, RawBuf, Result};
 use clapped_axops::Mul8s;
 use std::sync::Arc;
 
@@ -116,11 +126,13 @@ impl ConvEngine {
     }
 
     /// Runs the configured convolution with the given per-tap
-    /// multipliers.
+    /// multipliers, through a compiled plan (LUT-lowered taps with an
+    /// interior/border split — see [`crate::plan`]).
     ///
     /// The output's natural size is the input size divided by
     /// [`ConvConfig::reduction_factor`]; use [`Image::upscale_to`] to
-    /// compare against full-size references.
+    /// compare against full-size references. Results are bit-identical
+    /// to [`ConvEngine::convolve_naive`].
     ///
     /// # Errors
     ///
@@ -132,22 +144,66 @@ impl ConvEngine {
         config: &ConvConfig,
         muls: &TapMuls,
     ) -> Result<Image> {
-        config.validate(self.kernel.window())?;
-        if muls.len() != config.taps() {
-            return Err(ConvError::BadAssignment {
-                expected: config.taps(),
-                found: muls.len(),
-            });
-        }
+        self.check(config, muls)?;
+        let work = image.downscale(config.scale);
+        let out = match config.mode {
+            ConvMode::TwoD => {
+                let plan = ConvPlan::compile(
+                    self.kernel.window(),
+                    self.kernel.coeffs_2d(),
+                    self.kernel.shift(),
+                    muls,
+                );
+                let (gw, gh, accs) = plan.run_2d(&work, config.stride);
+                let grid: Vec<u8> = accs.iter().map(|&a| requant(a)).collect();
+                finish_grid(grid, gw, gh, &work, config, true, true)
+            }
+            ConvMode::Separable => {
+                self.check_separable()?;
+                let w = self.kernel.window();
+                let plan = ConvPlan::compile(
+                    w,
+                    self.kernel.coeffs_1d(),
+                    self.kernel.shift_1d(),
+                    &muls[..w],
+                );
+                let (gw, gh, accs) = plan.run_1d(&work, config.stride, true);
+                let grid: Vec<u8> = accs.iter().map(|&a| requant(a)).collect();
+                let h = finish_grid(grid, gw, gh, &work, config, true, false);
+                let plan = ConvPlan::compile(
+                    w,
+                    self.kernel.coeffs_1d(),
+                    self.kernel.shift_1d(),
+                    &muls[w..],
+                );
+                let (gw, gh, accs) = plan.run_1d(&h, config.stride, false);
+                let grid: Vec<u8> = accs.iter().map(|&a| requant(a)).collect();
+                finish_grid(grid, gw, gh, &h, config, false, true)
+            }
+        };
+        Ok(out)
+    }
+
+    /// The naive reference implementation of [`ConvEngine::convolve`]:
+    /// per-pixel virtual `mul` dispatch and clamped access everywhere.
+    /// Kept (and property-tested bit-identical to the compiled path)
+    /// as the semantics reference and benchmark baseline.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ConvEngine::convolve`].
+    pub fn convolve_naive(
+        &self,
+        image: &Image,
+        config: &ConvConfig,
+        muls: &TapMuls,
+    ) -> Result<Image> {
+        self.check(config, muls)?;
         let work = image.downscale(config.scale);
         let out = match config.mode {
             ConvMode::TwoD => self.conv2d(&work, config, muls),
             ConvMode::Separable => {
-                if !self.kernel.is_separable() {
-                    return Err(ConvError::BadConfig {
-                        reason: "kernel has no separable factors".to_string(),
-                    });
-                }
+                self.check_separable()?;
                 let w = self.kernel.window();
                 let h = self.horizontal_pass(&work, config, &muls[..w]);
                 self.vertical_pass(&h, config, &muls[w..])
@@ -160,7 +216,8 @@ impl ConvEngine {
     /// per stride-grid position (no clamping or rescaling), for
     /// applications whose post-processing differs from intensity
     /// clamping (e.g. gradient magnitudes). Scaling/downsampling follow
-    /// the same semantics as [`ConvEngine::convolve`].
+    /// the same semantics as [`ConvEngine::convolve`]; execution uses
+    /// the same compiled plan.
     ///
     /// # Errors
     ///
@@ -171,47 +228,42 @@ impl ConvEngine {
         image: &Image,
         config: &ConvConfig,
         muls: &TapMuls,
-    ) -> Result<Vec<Vec<i32>>> {
-        config.validate(self.kernel.window())?;
+    ) -> Result<RawBuf> {
         if config.mode != ConvMode::TwoD {
             return Err(ConvError::BadConfig {
                 reason: "raw convolution supports 2D mode only".to_string(),
             });
         }
+        self.check(config, muls)?;
+        let work = image.downscale(config.scale);
+        let plan = ConvPlan::compile(
+            self.kernel.window(),
+            self.kernel.coeffs_2d(),
+            self.kernel.shift(),
+            muls,
+        );
+        let (gw, gh, accs) = plan.run_2d(&work, config.stride);
+        Ok(RawBuf::from_vec(gw, gh, accs))
+    }
+
+    fn check(&self, config: &ConvConfig, muls: &TapMuls) -> Result<()> {
+        config.validate(self.kernel.window())?;
         if muls.len() != config.taps() {
             return Err(ConvError::BadAssignment {
                 expected: config.taps(),
                 found: muls.len(),
             });
         }
-        let work = image.downscale(config.scale);
-        let w = self.kernel.window();
-        let half = (w / 2) as isize;
-        let coeffs = self.kernel.coeffs_2d();
-        let shift = self.kernel.shift();
-        let s = config.stride;
-        let ow = work.width().div_ceil(s);
-        let oh = work.height().div_ceil(s);
-        let mut rows = Vec::with_capacity(oh);
-        for oy in 0..oh {
-            let mut row = Vec::with_capacity(ow);
-            for ox in 0..ow {
-                let (x, y) = (ox * s, oy * s);
-                let mut acc: i32 = 0;
-                for dy in 0..w {
-                    for dx in 0..w {
-                        let px = quant_pixel(work.get_clamped(
-                            x as isize + dx as isize - half,
-                            y as isize + dy as isize - half,
-                        ));
-                        acc += i32::from(muls[dy * w + dx].mul(px, coeffs[dy * w + dx]));
-                    }
-                }
-                row.push(acc >> shift);
-            }
-            rows.push(row);
+        Ok(())
+    }
+
+    fn check_separable(&self) -> Result<()> {
+        if !self.kernel.is_separable() {
+            return Err(ConvError::BadConfig {
+                reason: "kernel has no separable factors".to_string(),
+            });
         }
-        Ok(rows)
+        Ok(())
     }
 
     fn conv2d(&self, img: &Image, config: &ConvConfig, muls: &TapMuls) -> Image {
@@ -241,13 +293,8 @@ impl ConvEngine {
         let half = (w / 2) as isize;
         let coeffs = self.kernel.coeffs_1d();
         let shift = self.kernel.shift_1d();
-        // Horizontal pass strides along x only.
-        let x_cfg = ConvConfig {
-            stride: config.stride,
-            downsample: config.downsample,
-            ..*config
-        };
-        strided_map_axis(img, &x_cfg, true, |x, y| {
+        // Horizontal pass strides along x only (the axis flag below).
+        strided_map_axis(img, config, true, |x, y| {
             let mut acc: i32 = 0;
             for dx in 0..w {
                 let px = quant_pixel(img.get_clamped(x as isize + dx as isize - half, y as isize));
@@ -280,25 +327,72 @@ fn quant_pixel(v: u8) -> i8 {
 
 /// Normalizes an accumulated product sum and rescales to `0..=255`.
 fn dequant_result(acc: i32, shift: u32) -> u8 {
-    let v = (acc >> shift).clamp(0, 127);
-    (v << 1) as u8
+    requant(acc >> shift)
+}
+
+/// Rescales an already-normalized accumulator to `0..=255`.
+fn requant(v: i32) -> u8 {
+    (v.clamp(0, 127) << 1) as u8
+}
+
+/// Assembles a computed stride grid into the output image: the grid
+/// itself when downsampling, otherwise a zero-order-hold replication
+/// back to the source size. `strided_x`/`strided_y` select which axes
+/// the grid was strided along (both for 2D, one for separable passes).
+fn finish_grid(
+    grid: Vec<u8>,
+    gw: usize,
+    gh: usize,
+    src: &Image,
+    config: &ConvConfig,
+    strided_x: bool,
+    strided_y: bool,
+) -> Image {
+    if config.downsample || config.stride == 1 {
+        return Image::from_vec(gw, gh, grid);
+    }
+    let sx = if strided_x { config.stride } else { 1 };
+    let sy = if strided_y { config.stride } else { 1 };
+    replicate_grid(&grid, gw, src.width(), src.height(), sx, sy)
+}
+
+/// Zero-order-hold replication of a stride grid back to `width ×
+/// height`, by row-slice copying: each grid row is column-expanded once
+/// into a scratch row, then the scratch row is copied for every output
+/// row it covers — no per-pixel `x / s, y / s` divisions.
+fn replicate_grid(grid: &[u8], gw: usize, width: usize, height: usize, sx: usize, sy: usize) -> Image {
+    let mut data = Vec::with_capacity(width * height);
+    let mut expanded = vec![0u8; width];
+    let gh = grid.len() / gw;
+    for gy in 0..gh {
+        let row = &grid[gy * gw..(gy + 1) * gw];
+        if sx == 1 {
+            expanded.copy_from_slice(row);
+        } else {
+            for (x, e) in expanded.iter_mut().enumerate() {
+                *e = row[x / sx];
+            }
+        }
+        for _ in gy * sy..((gy + 1) * sy).min(height) {
+            data.extend_from_slice(&expanded);
+        }
+    }
+    Image::from_vec(width, height, data)
 }
 
 /// Applies `compute` on the stride grid in both axes; shrinks the output
 /// when downsampling, otherwise replicates (zero-order hold).
-fn strided_map(img: &Image, config: &ConvConfig, compute: impl Fn(usize, usize) -> u8) -> Image {
+fn strided_map(img: &Image, config: &ConvConfig, mut compute: impl FnMut(usize, usize) -> u8) -> Image {
     let s = config.stride;
-    if config.downsample {
-        let ow = img.width().div_ceil(s);
-        let oh = img.height().div_ceil(s);
-        Image::from_fn(ow, oh, |ox, oy| compute(ox * s, oy * s))
-    } else {
-        // Compute on the grid once, then replicate.
-        let ow = img.width().div_ceil(s);
-        let oh = img.height().div_ceil(s);
-        let grid = Image::from_fn(ow, oh, |ox, oy| compute(ox * s, oy * s));
-        Image::from_fn(img.width(), img.height(), |x, y| grid.get(x / s, y / s))
+    let ow = img.width().div_ceil(s);
+    let oh = img.height().div_ceil(s);
+    let mut grid = Vec::with_capacity(ow * oh);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            grid.push(compute(ox * s, oy * s));
+        }
     }
+    finish_grid(grid, ow, oh, img, config, true, true)
 }
 
 /// Like [`strided_map`] but striding a single axis (`horizontal` = x).
@@ -306,20 +400,19 @@ fn strided_map_axis(
     img: &Image,
     config: &ConvConfig,
     horizontal: bool,
-    compute: impl Fn(usize, usize) -> u8,
+    mut compute: impl FnMut(usize, usize) -> u8,
 ) -> Image {
     let s = config.stride;
     let (sw, sh) = if horizontal { (s, 1) } else { (1, s) };
-    if config.downsample {
-        let ow = img.width().div_ceil(sw);
-        let oh = img.height().div_ceil(sh);
-        Image::from_fn(ow, oh, |ox, oy| compute(ox * sw, oy * sh))
-    } else {
-        let ow = img.width().div_ceil(sw);
-        let oh = img.height().div_ceil(sh);
-        let grid = Image::from_fn(ow, oh, |ox, oy| compute(ox * sw, oy * sh));
-        Image::from_fn(img.width(), img.height(), |x, y| grid.get(x / sw, y / sh))
+    let ow = img.width().div_ceil(sw);
+    let oh = img.height().div_ceil(sh);
+    let mut grid = Vec::with_capacity(ow * oh);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            grid.push(compute(ox * sw, oy * sh));
+        }
     }
+    finish_grid(grid, ow, oh, img, config, horizontal, !horizontal)
 }
 
 #[cfg(test)]
@@ -438,6 +531,25 @@ mod tests {
     }
 
     #[test]
+    fn compiled_matches_naive_on_representative_configs() {
+        // The exhaustive DoF cross lives in tests/prop_conv_plan.rs;
+        // this is the in-crate smoke check.
+        let img = Image::synthetic(SynthKind::Blobs, 17, 11, 5);
+        let engine = engine3();
+        for cfg in [
+            ConvConfig::default(),
+            ConvConfig { stride: 3, downsample: true, ..ConvConfig::default() },
+            ConvConfig { stride: 2, scale: 2, ..ConvConfig::default() },
+            ConvConfig { mode: ConvMode::Separable, stride: 2, ..ConvConfig::default() },
+        ] {
+            let taps = exact_taps(cfg.taps());
+            let fast = engine.convolve(&img, &cfg, &taps).unwrap();
+            let slow = engine.convolve_naive(&img, &cfg, &taps).unwrap();
+            assert_eq!(fast, slow, "{cfg:?}");
+        }
+    }
+
+    #[test]
     fn wrong_tap_count_is_rejected() {
         let img = Image::filled(8, 8, 10);
         let err = engine3()
@@ -468,7 +580,7 @@ mod tests {
         let clamped = engine.convolve(&img, &cfg, &exact_taps(9)).unwrap();
         for y in 0..12 {
             for x in 0..12 {
-                let want = (raw[y][x].clamp(0, 127) << 1) as u8;
+                let want = (raw.get(x, y).clamp(0, 127) << 1) as u8;
                 assert_eq!(clamped.get(x, y), want, "at ({x},{y})");
             }
         }
@@ -494,6 +606,7 @@ mod tests {
             ..ConvConfig::default()
         };
         assert!(engine.convolve(&img, &cfg, &exact_taps(6)).is_err());
+        assert!(engine.convolve_naive(&img, &cfg, &exact_taps(6)).is_err());
     }
 
     #[test]

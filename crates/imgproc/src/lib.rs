@@ -40,6 +40,8 @@ mod conv;
 mod image;
 mod kernel;
 mod pgm;
+mod plan;
+mod raw;
 mod sobel;
 mod synth;
 
@@ -47,6 +49,8 @@ pub use apps::{AppResult, GaussianDenoise};
 pub use conv::{ConvConfig, ConvEngine, ConvMode};
 pub use image::{app_error_percent, psnr, psnr_capped, Image};
 pub use kernel::QuantKernel;
+pub use plan::plan_cache_stats;
+pub use raw::RawBuf;
 pub use sobel::SobelEdge;
 pub use synth::SynthKind;
 

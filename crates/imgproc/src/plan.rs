@@ -1,0 +1,369 @@
+//! Compiled convolution plans: LUT lowering of tap operators.
+//!
+//! The behavioural evaluation loop runs the 2D-convolution model under
+//! thousands of cross-layer configurations, and its inner loop used to
+//! pay a `dyn Mul8s` virtual call plus a branchy clamped pixel access
+//! per tap of every pixel. A [`ConvPlan`] removes both costs at
+//! `convolve()` time:
+//!
+//! - **LUT lowering**: quantized pixels span `0..=127` and the kernel
+//!   coefficient of a tap is fixed, so each tap's `(operator,
+//!   coefficient)` pair lowers to a contiguous 128-entry `i16` column of
+//!   the operator's behavioural table ([`clapped_axops::Mul8s::column`]).
+//!   Executing a tap is then a single L1-resident array lookup — no
+//!   virtual dispatch, no 64 KiB 256×256 table walk.
+//! - **Interior/border split**: interior output pixels (where the whole
+//!   window is in bounds) run a clamp-free sliding loop over flat row
+//!   slices; only the `window/2` border ring takes the clamped slow
+//!   path.
+//!
+//! Plans are cheap to build (`window²` column copies) and the columns
+//! themselves are memoized process-wide per `(operator behaviour digest,
+//! coefficient)` via [`clapped_exec::Memo`], so repeated evaluations of
+//! related configurations — the DSE common case, where thousands of
+//! candidates reuse the same few hundred `(operator, coeff)` pairs —
+//! share LUT allocations and never re-derive a column.
+//!
+//! Compiled execution is **bit-identical** to the naive reference path
+//! by construction: `lut[px] == operator.mul(px, coeff)` for every
+//! quantized pixel, and the border path applies the same clamp-to-edge
+//! semantics as the reference. A property test asserts this across the
+//! full DoF grid.
+
+use crate::Image;
+use clapped_axops::Mul8s;
+use clapped_exec::{Memo, MemoStats};
+use std::sync::{Arc, OnceLock};
+
+/// One tap's compiled form: `lut[px] = operator.mul(px, coeff)` for the
+/// quantized pixel range `px in 0..=127`.
+type TapLut = Arc<[i16]>;
+
+fn lut_memo() -> &'static Memo<(u64, i8), TapLut> {
+    static MEMO: OnceLock<Memo<(u64, i8), TapLut>> = OnceLock::new();
+    MEMO.get_or_init(Memo::new)
+}
+
+/// Hit/miss counters of the process-wide compiled-LUT memo. Warm DSE
+/// runs show `misses` frozen at the number of distinct `(operator,
+/// coefficient)` pairs ever lowered while `hits` climbs with every
+/// compiled convolution.
+pub fn plan_cache_stats() -> MemoStats {
+    lut_memo().stats()
+}
+
+/// Lowers one `(operator, coefficient)` tap into its column LUT,
+/// memoized per `(behaviour digest, coefficient)` when the operator
+/// carries a stable digest.
+fn lower_tap(op: &dyn Mul8s, coeff: i8) -> TapLut {
+    match op.behaviour_digest() {
+        Some(d) => lut_memo().get_or_insert_with((d, coeff), || op.column(coeff).into()),
+        None => op.column(coeff).into(),
+    }
+}
+
+/// A compiled convolution plan: one column LUT per tap plus the
+/// normalization shift. Usable for both 2D windows (`window²` taps) and
+/// separable 1D passes (`window` taps).
+///
+/// The memoized per-tap columns are concatenated into one flat buffer
+/// (`tap t` occupies `flat[t*128..][..128]`): executing a tap indexes a
+/// 128-entry slice with a `u8 >> 1` value, which the compiler can prove
+/// in-bounds, so the interior loops carry no bounds checks and no
+/// pointer chasing.
+#[derive(Debug, Clone)]
+pub(crate) struct ConvPlan {
+    window: usize,
+    shift: u32,
+    flat: Vec<i16>,
+}
+
+impl ConvPlan {
+    /// Compiles taps against their kernel coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `muls.len() == coeffs.len()` (the engine validates
+    /// tap counts before compiling).
+    pub(crate) fn compile(
+        window: usize,
+        coeffs: &[i8],
+        shift: u32,
+        muls: &[Arc<dyn Mul8s>],
+    ) -> ConvPlan {
+        assert_eq!(muls.len(), coeffs.len(), "one operator per coefficient");
+        let mut flat = Vec::with_capacity(muls.len() * 128);
+        for (m, &c) in muls.iter().zip(coeffs) {
+            flat.extend_from_slice(&lower_tap(m.as_ref(), c));
+        }
+        ConvPlan { window, shift, flat }
+    }
+
+    /// Tap `t`'s 128-entry LUT as a fixed-size slice (the `[..128]`
+    /// shape lets the optimizer elide the `px >> 1` bounds check).
+    #[inline]
+    fn lut(&self, t: usize) -> &[i16] {
+        &self.flat[t * 128..][..128]
+    }
+
+    /// Runs the 2D window over the stride grid, returning the normalized
+    /// accumulators (`acc >> shift`, no clamping) row-major at
+    /// `(width.div_ceil(stride), height.div_ceil(stride))`.
+    pub(crate) fn run_2d(&self, img: &Image, stride: usize) -> (usize, usize, Vec<i32>) {
+        let w = self.window;
+        let half = w / 2;
+        let (iw, ih) = (img.width(), img.height());
+        let data = img.as_slice();
+        let ow = iw.div_ceil(stride);
+        let oh = ih.div_ceil(stride);
+        let mut out = Vec::with_capacity(ow * oh);
+        // Grid columns whose whole window is x-interior: half <= x and
+        // x + half < iw. Empty when the image is narrower than the
+        // window (everything takes the clamped path).
+        let (ox_lo, ox_hi) = interior_span(iw, half, stride);
+        // Row accumulator for the interior span, reused across rows. The
+        // sweep is tap-major: each (dy, dx) tap adds its LUT over the
+        // whole span in one sequential pass, so one LUT stays hot per
+        // pass and per-pixel slice construction disappears. Per pixel
+        // the adds still happen in (dy, dx) order — integer addition, so
+        // the total is exactly the naive path's.
+        let mut accrow = vec![0i32; ox_hi.saturating_sub(ox_lo)];
+        for oy in 0..oh {
+            let y = oy * stride;
+            if y >= half && y + half < ih && ox_lo < ox_hi {
+                for ox in 0..ox_lo {
+                    out.push(self.clamped_2d(img, ox * stride, y));
+                }
+                let y0 = y - half;
+                accrow.fill(0);
+                for dy in 0..w {
+                    let src = &data[(y0 + dy) * iw..(y0 + dy + 1) * iw];
+                    if stride == 1 {
+                        self.sweep_row(&mut accrow, src, ox_lo - half, dy * w, w);
+                    } else {
+                        for dx in 0..w {
+                            let lut = self.lut(dy * w + dx);
+                            for (o, a) in accrow.iter_mut().enumerate() {
+                                let p = src[(ox_lo + o) * stride - half + dx];
+                                *a += i32::from(lut[(p >> 1) as usize]);
+                            }
+                        }
+                    }
+                }
+                out.extend(accrow.iter().map(|&a| a >> self.shift));
+                for ox in ox_hi..ow {
+                    out.push(self.clamped_2d(img, ox * stride, y));
+                }
+            } else {
+                for ox in 0..ow {
+                    out.push(self.clamped_2d(img, ox * stride, y));
+                }
+            }
+        }
+        (ow, oh, out)
+    }
+
+    /// Runs the 1D window along one axis (`horizontal` strides and
+    /// slides in x, vertical in y) over that axis' stride grid.
+    pub(crate) fn run_1d(
+        &self,
+        img: &Image,
+        stride: usize,
+        horizontal: bool,
+    ) -> (usize, usize, Vec<i32>) {
+        let w = self.window;
+        let half = w / 2;
+        let (iw, ih) = (img.width(), img.height());
+        let data = img.as_slice();
+        let (sx, sy) = if horizontal { (stride, 1) } else { (1, stride) };
+        let ow = iw.div_ceil(sx);
+        let oh = ih.div_ceil(sy);
+        let mut out = Vec::with_capacity(ow * oh);
+        if horizontal {
+            let (ox_lo, ox_hi) = interior_span(iw, half, stride);
+            let mut accrow = vec![0i32; ox_hi.saturating_sub(ox_lo)];
+            for y in 0..ih {
+                let row = &data[y * iw..(y + 1) * iw];
+                for ox in 0..ox_lo {
+                    out.push(self.clamped_1d(img, ox * sx, y, true));
+                }
+                if !accrow.is_empty() {
+                    accrow.fill(0);
+                    if stride == 1 {
+                        self.sweep_row(&mut accrow, row, ox_lo - half, 0, w);
+                    } else {
+                        for dx in 0..w {
+                            let lut = self.lut(dx);
+                            for (o, a) in accrow.iter_mut().enumerate() {
+                                let p = row[(ox_lo + o) * stride - half + dx];
+                                *a += i32::from(lut[(p >> 1) as usize]);
+                            }
+                        }
+                    }
+                    out.extend(accrow.iter().map(|&a| a >> self.shift));
+                }
+                for ox in ox_hi..ow {
+                    out.push(self.clamped_1d(img, ox * sx, y, true));
+                }
+            }
+        } else {
+            let (oy_lo, oy_hi) = interior_span(ih, half, stride);
+            let mut accrow = vec![0i32; iw];
+            for oy in 0..oh {
+                let y = oy * sy;
+                if oy >= oy_lo && oy < oy_hi {
+                    let y0 = y - half;
+                    accrow.fill(0);
+                    for dy in 0..w {
+                        let lut = self.lut(dy);
+                        let src = &data[(y0 + dy) * iw..(y0 + dy + 1) * iw];
+                        for (a, &p) in accrow.iter_mut().zip(src) {
+                            *a += i32::from(lut[(p >> 1) as usize]);
+                        }
+                    }
+                    out.extend(accrow.iter().map(|&a| a >> self.shift));
+                } else {
+                    for x in 0..iw {
+                        out.push(self.clamped_1d(img, x, y, false));
+                    }
+                }
+            }
+        }
+        (ow, oh, out)
+    }
+
+    /// Adds `w` consecutive taps (starting at LUT index `tap0`, x-offsets
+    /// `0..w` from `x0`) over one stride-1 source row into `acc`. The 3-
+    /// and 5-tap windows get fused fixed-width kernels — one sweep per
+    /// window row with all taps' LUTs hot — with a tap-major fallback for
+    /// other widths. Per pixel the adds keep the `dx` order; the sums are
+    /// `i32`, so grouping cannot change the result.
+    fn sweep_row(&self, acc: &mut [i32], src: &[u8], x0: usize, tap0: usize, w: usize) {
+        match w {
+            3 => sweep_fused::<3>(
+                acc,
+                src,
+                x0,
+                std::array::from_fn(|d| self.lut(tap0 + d)),
+            ),
+            5 => sweep_fused::<5>(
+                acc,
+                src,
+                x0,
+                std::array::from_fn(|d| self.lut(tap0 + d)),
+            ),
+            _ => {
+                for dx in 0..w {
+                    let lut = self.lut(tap0 + dx);
+                    let seg = &src[x0 + dx..][..acc.len()];
+                    for (a, &p) in acc.iter_mut().zip(seg) {
+                        *a += i32::from(lut[(p >> 1) as usize]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Border (clamp-to-edge) 2D tap sum at one grid point.
+    fn clamped_2d(&self, img: &Image, x: usize, y: usize) -> i32 {
+        let w = self.window;
+        let half = (w / 2) as isize;
+        let mut acc = 0i32;
+        for dy in 0..w {
+            for dx in 0..w {
+                let px = img.get_clamped(
+                    x as isize + dx as isize - half,
+                    y as isize + dy as isize - half,
+                ) >> 1;
+                acc += i32::from(self.lut(dy * w + dx)[px as usize]);
+            }
+        }
+        acc >> self.shift
+    }
+
+    /// Border (clamp-to-edge) 1D tap sum at one grid point.
+    fn clamped_1d(&self, img: &Image, x: usize, y: usize, horizontal: bool) -> i32 {
+        let w = self.window;
+        let half = (w / 2) as isize;
+        let mut acc = 0i32;
+        for d in 0..w {
+            let off = d as isize - half;
+            let px = if horizontal {
+                img.get_clamped(x as isize + off, y as isize)
+            } else {
+                img.get_clamped(x as isize, y as isize + off)
+            } >> 1;
+            acc += i32::from(self.lut(d)[px as usize]);
+        }
+        acc >> self.shift
+    }
+}
+
+/// One fused pass of `N` x-adjacent taps over a row segment:
+/// `acc[i] += Σ_d luts[d][src[x0 + i + d] >> 1]`.
+#[inline]
+fn sweep_fused<const N: usize>(acc: &mut [i32], src: &[u8], x0: usize, luts: [&[i16]; N]) {
+    let len = acc.len();
+    let segs: [&[u8]; N] = std::array::from_fn(|d| &src[x0 + d..x0 + d + len]);
+    for (i, a) in acc.iter_mut().enumerate() {
+        let mut s = 0i32;
+        for d in 0..N {
+            s += i32::from(luts[d][(segs[d][i] >> 1) as usize]);
+        }
+        *a += s;
+    }
+}
+
+/// The `[lo, hi)` range of stride-grid indices whose window is fully in
+/// bounds along an axis of length `len`: `half <= i*stride` and
+/// `i*stride + half < len`. Empty (`lo >= hi`) when the axis is shorter
+/// than the window.
+fn interior_span(len: usize, half: usize, stride: usize) -> (usize, usize) {
+    if len <= 2 * half {
+        return (0, 0);
+    }
+    let lo = half.div_ceil(stride);
+    // Largest grid index with i*stride <= len - 1 - half, exclusive end.
+    let hi = (len - 1 - half) / stride + 1;
+    (lo, hi.max(lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clapped_axops::Catalog;
+
+    #[test]
+    fn interior_span_bounds() {
+        // 3-tap window on a width-8 axis: x in 1..=6 are interior.
+        assert_eq!(interior_span(8, 1, 1), (1, 7));
+        assert_eq!(interior_span(8, 1, 2), (1, 4)); // x = 2, 4, 6
+        assert_eq!(interior_span(8, 2, 3), (1, 2)); // x = 3
+        assert_eq!(interior_span(3, 2, 1), (0, 0)); // narrower than window
+        assert_eq!(interior_span(5, 2, 1), (2, 3)); // single interior column
+    }
+
+    #[test]
+    fn taps_are_memoized_per_digest_and_coeff() {
+        let cat = Catalog::standard();
+        let m = cat.get("mul8s_tr2").unwrap();
+        let before = plan_cache_stats();
+        let a = lower_tap(m.as_ref(), 11);
+        let b = lower_tap(m.as_ref(), 11);
+        let c = lower_tap(m.as_ref(), 12);
+        assert!(Arc::ptr_eq(&a, &b), "same (digest, coeff) shares one LUT");
+        assert!(!Arc::ptr_eq(&a, &c));
+        let after = plan_cache_stats();
+        assert!(after.hits > before.hits);
+    }
+
+    #[test]
+    fn lowered_lut_matches_operator() {
+        let cat = Catalog::standard();
+        let m = cat.get("mul8s_log").unwrap();
+        let lut = lower_tap(m.as_ref(), -77);
+        for px in 0..=127i8 {
+            assert_eq!(lut[px as usize], m.mul(px, -77));
+        }
+    }
+}

@@ -150,12 +150,14 @@ fn edge_map(
     }
     let rx = gx.convolve_raw(image, config, gx_muls)?;
     let ry = gy.convolve_raw(image, config, gy_muls)?;
-    let oh = rx.len();
-    let ow = rx[0].len();
-    Ok(Image::from_fn(ow, oh, |x, y| {
+    let data = rx
+        .as_slice()
+        .iter()
+        .zip(ry.as_slice())
         // |Gx| + |Gy| magnitude, clamped to 8 bits.
-        (rx[y][x].abs() + ry[y][x].abs()).clamp(0, 255) as u8
-    }))
+        .map(|(&gx, &gy)| (gx.abs() + gy.abs()).clamp(0, 255) as u8)
+        .collect();
+    Ok(Image::from_vec(rx.width(), rx.height(), data))
 }
 
 #[cfg(test)]

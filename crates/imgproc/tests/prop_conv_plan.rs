@@ -1,0 +1,151 @@
+//! Bit-identity of the compiled convolution path against the naive
+//! reference, across the full cross-layer DoF grid.
+//!
+//! The compiled plan (`crates/imgproc/src/plan.rs`) is an optimization,
+//! not an approximation: its column LUTs hold exactly the products the
+//! naive path computes through virtual dispatch, and the border ring
+//! applies the same clamp-to-edge semantics. These tests pin that down
+//! exhaustively (every window × stride × scale × downsample × mode
+//! combination) and generatively (random operator mixes, non-square
+//! images, every synthetic content kind).
+
+use clapped_axops::{Catalog, Mul8s};
+use clapped_imgproc::{ConvConfig, ConvEngine, ConvMode, Image, QuantKernel, SynthKind};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// A deliberately heterogeneous operator pool: exact, truncation,
+/// broken-array, compressor, lower-part-OR, Booth and logarithmic
+/// families all take different code paths through table lookup and
+/// column extraction.
+const OP_POOL: [&str; 8] = [
+    "mul8s_exact",
+    "mul8s_tr3",
+    "mul8s_bam_v8_h3",
+    "mul8s_cmp8",
+    "mul8s_loa6",
+    "mul8s_booth_tr3",
+    "mul8s_log",
+    "mul8s_drum4",
+];
+
+fn catalog() -> &'static Catalog {
+    static CATALOG: OnceLock<Catalog> = OnceLock::new();
+    CATALOG.get_or_init(Catalog::standard)
+}
+
+/// `n` taps cycling through the operator pool starting at `phase`, so
+/// different taps of one kernel get different operators.
+fn mixed_taps(n: usize, phase: usize) -> Vec<Arc<dyn Mul8s>> {
+    (0..n)
+        .map(|i| {
+            let name = OP_POOL[(phase + i) % OP_POOL.len()];
+            catalog().get(name).expect("pool operator present") as Arc<dyn Mul8s>
+        })
+        .collect()
+}
+
+fn engine(window: usize) -> ConvEngine {
+    ConvEngine::new(QuantKernel::gaussian(window, 0.3 + 0.35 * window as f64))
+}
+
+/// Exhaustive DoF cross: window {3,5} × stride {1..4} × scale {1..4} ×
+/// downsample {no,yes} × mode {2D,separable} on a non-square image with
+/// a mixed-operator assignment — 256 configurations, each asserted
+/// bit-identical between the compiled and naive paths.
+#[test]
+fn compiled_path_is_bit_identical_over_exhaustive_dof_cross() {
+    let img = Image::synthetic(SynthKind::Blobs, 23, 17, 91);
+    for window in [3usize, 5] {
+        let engine = engine(window);
+        for stride in 1usize..=4 {
+            for scale in 1usize..=4 {
+                for downsample in [false, true] {
+                    for mode in [ConvMode::TwoD, ConvMode::Separable] {
+                        let cfg = ConvConfig { window, stride, downsample, mode, scale };
+                        let taps = mixed_taps(cfg.taps(), stride + scale);
+                        let fast = engine.convolve(&img, &cfg, &taps).expect("valid config");
+                        let slow = engine.convolve_naive(&img, &cfg, &taps).expect("valid config");
+                        assert_eq!(fast, slow, "compiled != naive under {cfg:?}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The raw (unclamped accumulator) path runs the same compiled plan;
+/// its requantized grid must equal the naive clamped output sampled on
+/// the stride grid.
+#[test]
+fn raw_path_matches_naive_on_the_stride_grid() {
+    let img = Image::synthetic(SynthKind::Bars, 19, 13, 5);
+    let engine = engine(3);
+    for stride in 1usize..=4 {
+        let cfg = ConvConfig { stride, downsample: true, ..ConvConfig::default() };
+        let taps = mixed_taps(cfg.taps(), stride);
+        let raw = engine.convolve_raw(&img, &cfg, &taps).expect("valid config");
+        let clamped = engine.convolve_naive(&img, &cfg, &taps).expect("valid config");
+        assert_eq!(raw.width(), clamped.width());
+        assert_eq!(raw.height(), clamped.height());
+        for y in 0..raw.height() {
+            for x in 0..raw.width() {
+                let want = (raw.get(x, y).clamp(0, 127) << 1) as u8;
+                assert_eq!(clamped.get(x, y), want, "stride {stride} at ({x},{y})");
+            }
+        }
+    }
+}
+
+/// Images smaller than the window exercise the everything-is-border
+/// fallback (the interior span is empty).
+#[test]
+fn tiny_images_take_the_border_path_identically() {
+    for (w, h) in [(1usize, 1usize), (2, 5), (5, 2), (4, 4), (1, 9)] {
+        let img = Image::synthetic(SynthKind::Gradient, w, h, 3);
+        for window in [3usize, 5] {
+            let engine = engine(window);
+            for stride in [1usize, 3] {
+                let cfg = ConvConfig { window, stride, ..ConvConfig::default() };
+                let taps = mixed_taps(cfg.taps(), window);
+                let fast = engine.convolve(&img, &cfg, &taps).expect("valid config");
+                let slow = engine.convolve_naive(&img, &cfg, &taps).expect("valid config");
+                assert_eq!(fast, slow, "{w}x{h} window {window} stride {stride}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generative sweep: random non-square sizes, content kinds, DoFs
+    /// and per-tap operator draws from the pool must stay bit-identical.
+    #[test]
+    fn compiled_matches_naive_on_random_instances(
+        // Lower bound 4: `Image::downscale` requires both dimensions to
+        // be at least the scale factor.
+        w in 4usize..40,
+        h in 4usize..40,
+        seed: u64,
+        kind_pick in 0usize..5,
+        window_pick in 0usize..2,
+        stride in 1usize..=4,
+        scale in 1usize..=4,
+        downsample: bool,
+        separable: bool,
+        op_picks in proptest::collection::vec(0usize..8, 50),
+    ) {
+        let window = [3, 5][window_pick];
+        let mode = if separable { ConvMode::Separable } else { ConvMode::TwoD };
+        let cfg = ConvConfig { window, stride, downsample, mode, scale };
+        let img = Image::synthetic(SynthKind::ALL[kind_pick], w, h, seed);
+        let taps: Vec<Arc<dyn Mul8s>> = op_picks[..cfg.taps()]
+            .iter()
+            .map(|&i| catalog().get(OP_POOL[i]).expect("pool operator") as Arc<dyn Mul8s>)
+            .collect();
+        let fast = engine(window).convolve(&img, &cfg, &taps).expect("valid config");
+        let slow = engine(window).convolve_naive(&img, &cfg, &taps).expect("valid config");
+        prop_assert_eq!(fast, slow, "compiled != naive under {:?}", cfg);
+    }
+}
