@@ -1,0 +1,41 @@
+//! Criterion benchmarks for the observability layer: the disabled
+//! no-op fast path (the acceptance target — span enter/exit under
+//! 5 ns/op, since instrumentation stays in hot code unconditionally)
+//! against the enabled recording path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_disabled(c: &mut Criterion) {
+    clapped_obs::reset();
+    let mut group = c.benchmark_group("obs_disabled");
+    group.bench_function("span_enter_exit", |b| {
+        b.iter(|| black_box(clapped_obs::span(black_box("bench.obs.span"))))
+    });
+    group.bench_function("counter_add", |b| {
+        b.iter(|| clapped_obs::count(black_box("bench.obs.counter"), black_box(1)))
+    });
+    group.bench_function("histogram_observe", |b| {
+        b.iter(|| clapped_obs::observe(black_box("bench.obs.hist"), black_box(42)))
+    });
+    group.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    clapped_obs::reset();
+    clapped_obs::enable();
+    let mut group = c.benchmark_group("obs_enabled");
+    group.bench_function("span_enter_exit", |b| {
+        b.iter(|| black_box(clapped_obs::span(black_box("bench.obs.span"))))
+    });
+    group.bench_function("counter_add", |b| {
+        b.iter(|| clapped_obs::count(black_box("bench.obs.counter"), black_box(1)))
+    });
+    group.bench_function("histogram_observe", |b| {
+        b.iter(|| clapped_obs::observe(black_box("bench.obs.hist"), black_box(42)))
+    });
+    group.finish();
+    clapped_obs::reset();
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled);
+criterion_main!(benches);

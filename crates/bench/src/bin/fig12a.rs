@@ -101,7 +101,7 @@ fn main() {
         let evals = mbo_traces[0][i].0;
         let hm = mean_at(&mbo_traces, i);
         let hr = mean_at(&rnd_traces, i);
-        if evals % 50 == 0 {
+        if evals.is_multiple_of(50) {
             rows.push(vec![
                 format!("{evals}"),
                 format!("{hm:.0}"),

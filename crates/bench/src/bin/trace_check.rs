@@ -1,0 +1,51 @@
+//! Validates a `--trace` JSONL file: every line must parse as a JSON
+//! object with a `type` field, the file must open with a `start` record
+//! and contain at least one event. CI runs this against the trace an
+//! example smoke run produced.
+//!
+//! Usage: `trace_check [path]` (default `results/trace.jsonl`). Exits
+//! non-zero with a diagnostic on the first malformed line.
+
+use std::collections::BTreeMap;
+use std::process::exit;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "results/trace.jsonl".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            exit(1);
+        }
+    };
+
+    let mut by_type: BTreeMap<String, usize> = BTreeMap::new();
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        lines += 1;
+        let value: serde_json::Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("trace_check: line {} is not valid JSON: {e}", i + 1);
+                exit(1);
+            }
+        };
+        let Some(kind) = value.get("type").and_then(|t| t.as_str()) else {
+            eprintln!("trace_check: line {} has no string `type` field", i + 1);
+            exit(1);
+        };
+        if i == 0 && kind != "start" {
+            eprintln!("trace_check: first record must be `start`, got `{kind}`");
+            exit(1);
+        }
+        *by_type.entry(kind.to_string()).or_insert(0) += 1;
+    }
+    if lines < 2 {
+        eprintln!("trace_check: {path} holds {lines} record(s); expected a start record plus events");
+        exit(1);
+    }
+
+    let summary: Vec<String> =
+        by_type.iter().map(|(k, n)| format!("{k}:{n}")).collect();
+    println!("trace_check: {path} OK — {lines} records ({})", summary.join(", "));
+}

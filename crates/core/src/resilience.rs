@@ -115,6 +115,7 @@ impl Clapped {
         config: &Configuration,
         campaign: &FaultCampaignConfig,
     ) -> Result<FaultCampaignReport> {
+        let _campaign_span = clapped_obs::span("fault.campaign");
         let base = self.catalog().at(campaign.mul_index).ok_or_else(|| {
             ClappedError::BadConfiguration {
                 reason: format!(
@@ -133,7 +134,11 @@ impl Clapped {
             .map(|_| (0..netlist.inputs().len()).map(|_| rng.next_u64()).collect())
             .collect();
         let sites = netlist.fault_sites();
-        let screened = netlist.stuck_at_campaign_with(&sites, &batches, 64, self.engine())?;
+        let screened = {
+            let _span = clapped_obs::span("fault.prescreen");
+            netlist.stuck_at_campaign_with(&sites, &batches, 64, self.engine())?
+        };
+        clapped_obs::count("fault.sites_screened", sites.len() as u64);
 
         // Stage 2: application evaluation of the worst sites, fanned
         // over the engine (each job rebuilds the faulted behavioural
@@ -142,7 +147,9 @@ impl Clapped {
         let tap_indices = config.active_mul_indices();
         let promoted: Vec<usize> =
             screened.ranked_sites().into_iter().take(campaign.top_k).collect();
-        let mut impacts = self.engine().try_evaluate_many(&promoted, |_, &site_idx| {
+        clapped_obs::count("fault.sites_promoted", promoted.len() as u64);
+        let eval_span = clapped_obs::span("fault.evaluate");
+        let impacts = self.engine().try_evaluate_many(&promoted, |_, &site_idx| {
             let site = &screened.sites[site_idx];
             let faults = FaultSet::from(site.fault);
             let faulted: Arc<dyn Mul8s> = Arc::new(FaultedMul::new(&base, &faults)?);
@@ -165,6 +172,12 @@ impl Clapped {
                 app_error_percent: r.error_percent,
                 degradation: r.error_percent - baseline.error_percent,
             })
+        });
+        drop(eval_span);
+        // A failed site evaluation aborts the campaign (try_evaluate_many
+        // reports the lowest-indexed error); count it before propagating.
+        let mut impacts = impacts.inspect_err(|_| {
+            clapped_obs::count("fault.sites_quarantined", 1);
         })?;
         impacts.sort_by(|a, b| b.degradation.total_cmp(&a.degradation));
 

@@ -281,7 +281,7 @@ mod tests {
     use crate::DesignSpace;
     use rand::Rng;
 
-    fn toy_objective(c: &Vec<f64>) -> Vec<f64> {
+    fn toy_objective(c: &[f64]) -> Vec<f64> {
         let x = (c[0] + c[1]) / 2.0;
         vec![x, (1.0 - x) * (1.0 - x) + 0.05 * (c[0] - c[1]).abs()]
     }

@@ -199,8 +199,13 @@ impl<C: Clone> MboState<C> {
     /// resilient driver to seal a partially completed batch.
     pub(crate) fn push_hv(&mut self) {
         let objs: Vec<&[f64]> = self.evaluated.iter().map(|(_, o)| o.as_slice()).collect();
-        self.hv_trace
-            .push((self.evaluated.len(), hypervolume(&objs, &self.config.reference)));
+        let hv = hypervolume(&objs, &self.config.reference);
+        self.hv_trace.push((self.evaluated.len(), hv));
+        clapped_obs::gauge_set("dse.mbo.hypervolume", hv);
+        clapped_obs::emit_point(
+            "dse.mbo.hv",
+            &[("evals", self.evaluated.len() as f64), ("hv", hv)],
+        );
     }
 
     /// Records a batch of outcomes against the candidates they evaluate.
@@ -322,7 +327,10 @@ impl<C: Clone> MboState<C> {
             let batch: Vec<C> = (0..self.config.initial_samples)
                 .map(|_| sample(&mut self.rng))
                 .collect();
-            let outcomes = evaluate_batch(&batch);
+            let outcomes = {
+                let _span = clapped_obs::span("dse.mbo.evaluate");
+                evaluate_batch(&batch)
+            };
             self.record_batch(batch, outcomes)?;
             self.initial_done = true;
             self.push_hv();
@@ -335,10 +343,14 @@ impl<C: Clone> MboState<C> {
         // Surrogate: one GP per objective.
         let xs: Vec<Vec<f64>> = self.evaluated.iter().map(|(c, _)| encode(c)).collect();
         let mut gps = Vec::with_capacity(d);
-        for k in 0..d {
-            let ys: Vec<f64> = self.evaluated.iter().map(|(_, o)| o[k]).collect();
-            gps.push(Gp::fit(&xs, &ys)?);
+        {
+            let _span = clapped_obs::span("dse.mbo.gp_fit");
+            for k in 0..d {
+                let ys: Vec<f64> = self.evaluated.iter().map(|(_, o)| o[k]).collect();
+                gps.push(Gp::fit(&xs, &ys)?);
+            }
         }
+        let acq_span = clapped_obs::span("dse.mbo.acquisition");
         // Acquisition: optimistic (LCB) predictions, ranked by exclusive
         // HV contribution over the current true front. Selection is
         // sequential-greedy: each pick's predicted point joins the
@@ -354,6 +366,7 @@ impl<C: Clone> MboState<C> {
         let sampled: Vec<C> = (0..self.config.candidates)
             .map(|_| sample(&mut self.rng))
             .collect();
+        clapped_obs::count("dse.mbo.candidates", sampled.len() as u64);
         let encoded: Vec<Vec<f64>> = sampled.iter().map(encode).collect();
         let mut preds: Vec<Vec<f64>> =
             sampled.iter().map(|_| Vec::with_capacity(d)).collect();
@@ -391,7 +404,11 @@ impl<C: Clone> MboState<C> {
         for _ in 0..self.config.batch - n_guided {
             picked.push(sample(&mut self.rng));
         }
-        let outcomes = evaluate_batch(&picked);
+        drop(acq_span);
+        let outcomes = {
+            let _span = clapped_obs::span("dse.mbo.evaluate");
+            evaluate_batch(&picked)
+        };
         self.record_batch(picked, outcomes)?;
         self.iterations_done += 1;
         self.push_hv();
@@ -436,6 +453,9 @@ mod tests {
 
     /// A toy bi-objective problem: minimize (x, 1-x) over x in [0,1]
     /// encoded from two genes; the front is the diagonal.
+    // The concrete &Vec signature is required: the fn is passed directly
+    // as an `FnMut(&Vec<f64>)` objective.
+    #[allow(clippy::ptr_arg)]
     fn toy_objective(c: &Vec<f64>) -> Vec<f64> {
         let x = (c[0] + c[1]) / 2.0;
         vec![x, (1.0 - x) * (1.0 - x) + 0.05 * (c[0] - c[1]).abs()]

@@ -147,6 +147,7 @@ fn drive<C: Clone>(
                     attempts: attempt,
                     reason: last_reason,
                 });
+                clapped_obs::count("dse.mbo.quarantined", 1);
                 return Err(DseError::Stopped(StopReason::FailureLimit));
             }
         }
@@ -155,6 +156,7 @@ fn drive<C: Clone>(
             attempts,
             reason: last_reason.clone(),
         });
+        clapped_obs::count("dse.mbo.quarantined", 1);
         Err(DseError::Evaluation { reason: last_reason })
     };
 
@@ -246,6 +248,9 @@ mod tests {
     use super::*;
     use rand::Rng;
 
+    // The concrete &Vec signature is required: the fn is passed directly
+    // as an `FnMut(&Vec<f64>)` objective.
+    #[allow(clippy::ptr_arg)]
     fn toy_objective(c: &Vec<f64>) -> Vec<f64> {
         let x = (c[0] + c[1]) / 2.0;
         vec![x, (1.0 - x) * (1.0 - x) + 0.05 * (c[0] - c[1]).abs()]

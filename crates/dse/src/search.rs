@@ -126,9 +126,7 @@ pub fn nsga2<C: Clone>(
         let (ranks, crowding) = rank_and_crowd(&pop);
         // Binary tournament selection by (rank, -crowding).
         let better = |i: usize, j: usize| -> usize {
-            if (ranks[i], std::cmp::Reverse(ordered(crowding[i])))
-                < (ranks[j], std::cmp::Reverse(ordered(crowding[j])))
-            {
+            if rank_crowd_cmp(ranks[i], crowding[i], ranks[j], crowding[j]).is_lt() {
                 i
             } else {
                 j
@@ -150,8 +148,7 @@ pub fn nsga2<C: Clone>(
         let (ranks, crowding) = rank_and_crowd(&pop);
         let mut order: Vec<usize> = (0..pop.len()).collect();
         order.sort_by(|&a, &b| {
-            (ranks[a], std::cmp::Reverse(ordered(crowding[a])))
-                .cmp(&(ranks[b], std::cmp::Reverse(ordered(crowding[b]))))
+            rank_crowd_cmp(ranks[a], crowding[a], ranks[b], crowding[b])
         });
         let keep: Vec<(C, Vec<f64>)> = order
             .into_iter()
@@ -167,38 +164,18 @@ pub fn nsga2<C: Clone>(
     })
 }
 
-/// Total-order wrapper for crowding distances (which may be infinite).
-fn ordered(x: f64) -> ordered_float::NotNanF64 {
-    ordered_float::NotNanF64::new(x)
-}
-
-/// Minimal ordered-float shim so we avoid an external dependency.
-mod ordered_float {
-    /// A `f64` with a total order; NaN inputs are clamped to +inf.
-    #[derive(Debug, Clone, Copy, PartialEq)]
-    pub struct NotNanF64(f64);
-
-    impl NotNanF64 {
-        pub fn new(x: f64) -> NotNanF64 {
-            NotNanF64(if x.is_nan() { f64::INFINITY } else { x })
-        }
-    }
-
-    impl Eq for NotNanF64 {}
-
-    impl PartialOrd for NotNanF64 {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-
-    impl Ord for NotNanF64 {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            // total_cmp keeps this panic-free even if a NaN slips past
-            // construction clamping.
-            self.0.total_cmp(&other.0)
-        }
-    }
+/// NSGA-II preference order: lower rank first, then larger crowding
+/// distance. `f64::total_cmp` gives a panic-free total order in which
+/// positive NaN sorts above +inf, so a NaN crowding distance (only
+/// possible for degenerate fronts) ranks as the largest distance and is
+/// preferred — the same preference the old NaN-to-inf shim produced.
+fn rank_crowd_cmp(
+    rank_a: usize,
+    crowd_a: f64,
+    rank_b: usize,
+    crowd_b: f64,
+) -> std::cmp::Ordering {
+    rank_a.cmp(&rank_b).then(crowd_b.total_cmp(&crowd_a))
 }
 
 /// Fast non-dominated sorting plus crowding distances.
@@ -333,6 +310,9 @@ pub fn simulated_annealing<C: Clone>(
 mod tests {
     use super::*;
 
+    // The concrete &Vec signature is required: the fn is passed directly
+    // as an `FnMut(&Vec<f64>)` objective.
+    #[allow(clippy::ptr_arg)]
     fn toy_objective(c: &Vec<f64>) -> Vec<f64> {
         let x = (c[0] + c[1]) / 2.0;
         vec![x, (1.0 - x) * (1.0 - x) + 0.05 * (c[0] - c[1]).abs()]
@@ -342,6 +322,9 @@ mod tests {
         vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]
     }
 
+    // The concrete &Vec signature is required: the fn is passed directly
+    // as an `FnMut(&Vec<f64>, &Vec<f64>, ..)` callback.
+    #[allow(clippy::ptr_arg)]
     fn toy_crossover(a: &Vec<f64>, b: &Vec<f64>, rng: &mut ChaCha8Rng) -> Vec<f64> {
         a.iter()
             .zip(b)
@@ -349,6 +332,8 @@ mod tests {
             .collect()
     }
 
+    // Same: passed directly as an `FnMut(&mut Vec<f64>, ..)` callback.
+    #[allow(clippy::ptr_arg)]
     fn toy_mutate(c: &mut Vec<f64>, rng: &mut ChaCha8Rng) {
         let i = rng.gen_range(0..c.len());
         c[i] = (c[i] + rng.gen_range(-0.2f64..0.2)).clamp(0.0, 1.0);

@@ -1,0 +1,66 @@
+//! Observability must never perturb a search: a traced MBO run is
+//! bit-identical to an untraced run of the same seed — instrumentation
+//! only reads clocks and bumps atomics, it never touches the RNG
+//! stream, digests or checkpoints.
+
+use clapped_dse::{mbo, MboConfig};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+fn toy_objective(c: &[f64]) -> Vec<f64> {
+    let x = (c[0] + c[1]) / 2.0;
+    vec![x, (1.0 - x) * (1.0 - x) + 0.05 * (c[0] - c[1]).abs()]
+}
+
+fn toy_sample(rng: &mut ChaCha8Rng) -> Vec<f64> {
+    vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]
+}
+
+fn run() -> clapped_dse::SearchResult<Vec<f64>> {
+    let config = MboConfig {
+        initial_samples: 8,
+        iterations: 4,
+        batch: 4,
+        candidates: 20,
+        reference: vec![1.5, 1.5],
+        kappa: 1.0,
+        explore_fraction: 0.1,
+        seed: 17,
+    };
+    mbo(&config, toy_sample, |c| c.clone(), |c| toy_objective(c)).unwrap()
+}
+
+#[test]
+fn traced_and_untraced_runs_are_bit_identical() {
+    let untraced = run();
+
+    let path = std::env::temp_dir()
+        .join(format!("clapped-dse-trace-test-{}.jsonl", std::process::id()));
+    clapped_obs::enable_jsonl(&path).unwrap();
+    let traced = run();
+    clapped_obs::reset();
+
+    // Bit-identical trajectories: every evaluated point, every objective
+    // bit and the whole hypervolume trace match exactly.
+    assert_eq!(traced.evaluated.len(), untraced.evaluated.len());
+    for ((ca, oa), (cb, ob)) in traced.evaluated.iter().zip(&untraced.evaluated) {
+        assert_eq!(ca, cb);
+        assert_eq!(oa, ob);
+    }
+    assert_eq!(traced.hv_trace, untraced.hv_trace);
+    assert_eq!(traced.pareto_indices(), untraced.pareto_indices());
+
+    // The trace itself is well-formed JSONL with the expected records.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 3, "start + events + trailing metrics");
+    for line in &lines {
+        let v = serde_json::from_str(line).expect("every trace line parses as JSON");
+        assert!(v.get("type").and_then(|t| t.as_str()).is_some());
+    }
+    assert!(
+        text.contains("\"dse.mbo.gp_fit\"") && text.contains("\"dse.mbo.hv\""),
+        "MBO spans and hypervolume points must appear in the trace"
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -81,10 +81,7 @@ impl Dist {
         let sd = var.sqrt().max(1e-12);
         let mut sorted: Vec<f64> = samples.to_vec();
         sorted.sort_by(|a, b| a.total_cmp(b));
-        let quantile = |q: f64| -> f64 {
-            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-            sorted[idx]
-        };
+        let quantile = |q: f64| -> f64 { quantile_sorted(&sorted, q) };
         let (mu, s) = match kind {
             DistKind::Normal => (mean, sd),
             // logistic variance = s^2 pi^2 / 3
@@ -177,6 +174,28 @@ impl Dist {
         };
         core / self.s
     }
+}
+
+/// Type-7 (linearly interpolated) empirical quantile of an ascending
+/// pre-sorted sample: `h = (n-1)·q`, interpolating between the order
+/// statistics bracketing `h`. This is R's and NumPy's default estimator;
+/// unlike nearest-rank rounding it is continuous in `q` and does not
+/// collapse small-sample spreads (the n=3 IQR is 1.0·gap, not 0).
+/// `q` is clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of an empty sample");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = (n - 1) as f64 * q.clamp(0.0, 1.0);
+    let lo = (h.floor() as usize).min(n - 2);
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[lo + 1] - sorted[lo])
 }
 
 /// Kolmogorov–Smirnov statistic of a fitted distribution against the
@@ -302,6 +321,38 @@ mod tests {
         let samples: Vec<f64> = (0..1000).map(|i| i as f64 / 999.0).collect();
         let ranked = rank_distributions(&samples);
         assert_eq!(ranked[0].0.kind(), DistKind::Uniform);
+    }
+
+    #[test]
+    fn quantiles_interpolate_between_order_statistics() {
+        let sorted = [0.0, 1.0, 2.0];
+        // Grid points hit the order statistics exactly.
+        assert_eq!(quantile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&sorted, 0.5), 1.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 2.0);
+        // Off-grid points interpolate: nearest-rank would snap these.
+        assert_eq!(quantile_sorted(&sorted, 0.25), 0.5);
+        assert_eq!(quantile_sorted(&sorted, 0.75), 1.5);
+        // Out-of-range q clamps; singletons are constant.
+        assert_eq!(quantile_sorted(&sorted, -1.0), 0.0);
+        assert_eq!(quantile_sorted(&sorted, 2.0), 2.0);
+        assert_eq!(quantile_sorted(&[7.5], 0.3), 7.5);
+    }
+
+    #[test]
+    fn small_sample_iqr_no_longer_collapses() {
+        // Nearest-rank rounding put q25 and q75 on the middle order
+        // statistic for n=3, collapsing the Cauchy IQR scale to the
+        // 1e-12 floor. Type-7 keeps the true spread.
+        let d = Dist::fit(DistKind::Cauchy, &[0.0, 1.0, 2.0]);
+        assert_eq!(d.mu(), 1.0);
+        assert!((d.scale() - 0.5).abs() < 1e-12, "scale {}", d.scale());
+    }
+
+    #[test]
+    fn even_sample_median_is_the_midpoint() {
+        let d = Dist::fit(DistKind::Laplace, &[0.0, 1.0, 3.0, 10.0]);
+        assert_eq!(d.mu(), 2.0);
     }
 
     #[test]

@@ -1,15 +1,16 @@
 //! Property tests for the error-modeling crate.
 
 use clapped_axops::{AxMul, MulArch};
-use clapped_errmodel::dist::{ks_statistic, Dist, DistKind};
+use clapped_errmodel::dist::{ks_statistic, quantile_sorted, Dist, DistKind};
 use clapped_errmodel::{canonical_terms, rank_terms, ErrorStats, PrModel};
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-fn cached_pr(k: usize) -> (std::sync::Arc<AxMul>, PrModel) {
-    static CACHE: Mutex<Option<HashMap<usize, (std::sync::Arc<AxMul>, PrModel)>>> =
-        Mutex::new(None);
+type PrCacheEntry = (std::sync::Arc<AxMul>, PrModel);
+
+fn cached_pr(k: usize) -> PrCacheEntry {
+    static CACHE: Mutex<Option<HashMap<usize, PrCacheEntry>>> = Mutex::new(None);
     let mut guard = CACHE.lock().expect("lock");
     let map = guard.get_or_insert_with(HashMap::new);
     map.entry(k)
@@ -85,6 +86,41 @@ proptest! {
     #[test]
     fn canonical_term_count(d in 1usize..=6) {
         prop_assert_eq!(canonical_terms(d).len(), (d + 1) * (d + 2) / 2);
+    }
+
+    /// Interpolated quantiles are monotone in `q` and stay inside the
+    /// sample range.
+    #[test]
+    fn quantiles_monotone_in_q(
+        sample in collection::vec(-1e6f64..1e6, 1..40),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        let mut sample = sample;
+        sample.sort_by(f64::total_cmp);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let (vlo, vhi) = (quantile_sorted(&sample, lo), quantile_sorted(&sample, hi));
+        prop_assert!(vlo <= vhi, "q{lo} -> {vlo} > q{hi} -> {vhi}");
+        prop_assert!(vlo >= sample[0] && vhi <= sample[sample.len() - 1]);
+    }
+
+    /// At the type-7 grid points q = k/(n-1) the interpolated quantile
+    /// equals the k-th order statistic exactly.
+    #[test]
+    fn quantiles_hit_order_statistics_at_grid_points(
+        sample in collection::vec(-1e6f64..1e6, 2..40),
+    ) {
+        let mut sample = sample;
+        sample.sort_by(f64::total_cmp);
+        let n = sample.len();
+        for (k, &expect) in sample.iter().enumerate() {
+            let q = k as f64 / (n - 1) as f64;
+            let got = quantile_sorted(&sample, q);
+            prop_assert!(
+                (got - expect).abs() <= 1e-6 * (1.0 + expect.abs()),
+                "grid point k={k} q={q}: got {got}, order statistic {expect}"
+            );
+        }
     }
 
     /// Error metrics are internally consistent for every truncation

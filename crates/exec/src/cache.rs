@@ -74,6 +74,9 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries dropped from memory by the LRU bound.
     pub evictions: u64,
+    /// Disk files that existed but failed to parse or decode (each is
+    /// treated as a miss; the file is left for inspection).
+    pub disk_corrupt: u64,
     /// Entries currently resident in memory.
     pub entries: usize,
 }
@@ -158,6 +161,7 @@ pub struct ResultCache<V> {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    disk_corrupt: AtomicU64,
 }
 
 impl<V: Clone + CacheCodec> ResultCache<V> {
@@ -172,6 +176,7 @@ impl<V: Clone + CacheCodec> ResultCache<V> {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            disk_corrupt: AtomicU64::new(0),
         }
     }
 
@@ -200,10 +205,20 @@ impl<V: Clone + CacheCodec> ResultCache<V> {
         self.disk_dir.as_ref().map(|d| d.join(format!("{mixed:016x}.json")))
     }
 
+    /// Reads the disk tier. A missing or unreadable file is an ordinary
+    /// miss; a file that *reads* but fails to parse or decode (corrupt,
+    /// truncated, foreign) is also a miss but additionally counted, so a
+    /// damaged cache directory degrades performance — never correctness.
     fn disk_read(&self, mixed: u64) -> Option<V> {
         let text = std::fs::read_to_string(self.disk_path(mixed)?).ok()?;
-        let value = serde_json::from_str(&text).ok()?;
-        V::from_cache_json(&value)
+        let decoded = serde_json::from_str(&text)
+            .ok()
+            .and_then(|value| V::from_cache_json(&value));
+        if decoded.is_none() {
+            self.disk_corrupt.fetch_add(1, Ordering::Relaxed);
+            clapped_obs::count("exec.cache.disk_corrupt", 1);
+        }
+        decoded
     }
 
     fn disk_write(&self, mixed: u64, value: &V) {
@@ -229,17 +244,21 @@ impl<V: Clone + CacheCodec> ResultCache<V> {
             let mut lru = self.lru.lock().expect("cache lock poisoned");
             if let Some(v) = lru.touch(mixed) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                clapped_obs::count("exec.cache.hit", 1);
                 return Some(v.clone());
             }
         }
         if let Some(v) = self.disk_read(mixed) {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            clapped_obs::count("exec.cache.disk_hit", 1);
             let evicted =
                 self.lru.lock().expect("cache lock poisoned").insert(mixed, v.clone());
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            clapped_obs::count("exec.cache.evict", evicted);
             return Some(v);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        clapped_obs::count("exec.cache.miss", 1);
         None
     }
 
@@ -247,9 +266,11 @@ impl<V: Clone + CacheCodec> ResultCache<V> {
     pub fn insert(&self, key: u64, value: V) {
         let mixed = self.mixed(key);
         self.insertions.fetch_add(1, Ordering::Relaxed);
+        clapped_obs::count("exec.cache.insert", 1);
         self.disk_write(mixed, &value);
         let evicted = self.lru.lock().expect("cache lock poisoned").insert(mixed, value);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        clapped_obs::count("exec.cache.evict", evicted);
     }
 
     /// Returns the cached value for `key`, computing and storing it on a
@@ -274,6 +295,7 @@ impl<V: Clone + CacheCodec> ResultCache<V> {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            disk_corrupt: self.disk_corrupt.load(Ordering::Relaxed),
             entries: self.lru.lock().expect("cache lock poisoned").map.len(),
         }
     }
@@ -366,6 +388,33 @@ mod tests {
         let mixed = cache.mixed(9);
         std::fs::write(dir.join(format!("{mixed:016x}.json")), "not json at all").unwrap();
         assert_eq!(cache.get(9), None);
+        assert_eq!(cache.stats().disk_corrupt, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_recover_via_recompute() {
+        let dir = std::env::temp_dir()
+            .join(format!("clapped-exec-test-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let writer: ResultCache<Vec<f64>> = ResultCache::with_disk(8, &dir);
+            writer.insert(11, vec![4.0, 5.0]);
+        }
+        // Truncate the one on-disk entry mid-token so it no longer parses.
+        let files: Vec<_> = std::fs::read_dir(&dir).unwrap().map(|e| e.unwrap().path()).collect();
+        assert_eq!(files.len(), 1);
+        std::fs::write(&files[0], "[4.0, 5.").unwrap();
+
+        let fresh: ResultCache<Vec<f64>> = ResultCache::with_disk(8, &dir);
+        assert_eq!(fresh.get(11), None, "corrupt entry must read as a miss, not panic");
+        let stats = fresh.stats();
+        assert_eq!((stats.disk_corrupt, stats.disk_hits, stats.misses), (1, 0, 1));
+        // get_or_compute recovers and rewrites a valid entry.
+        assert_eq!(fresh.get_or_compute(11, || vec![4.0, 5.0]), vec![4.0, 5.0]);
+        let reread: ResultCache<Vec<f64>> = ResultCache::with_disk(8, &dir);
+        assert_eq!(reread.get(11), Some(vec![4.0, 5.0]));
+        assert_eq!(reread.stats().disk_corrupt, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

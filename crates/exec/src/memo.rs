@@ -79,9 +79,11 @@ impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
         let mut table = self.table.lock().expect("memo lock poisoned");
         if let Some(v) = table.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            clapped_obs::count("exec.memo.hit", 1);
             return v.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        clapped_obs::count("exec.memo.miss", 1);
         let v = compute();
         table.insert(key, v.clone());
         v
@@ -93,8 +95,10 @@ impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
         let found = table.get(key).cloned();
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            clapped_obs::count("exec.memo.hit", 1);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            clapped_obs::count("exec.memo.miss", 1);
         }
         found
     }

@@ -13,6 +13,23 @@ use crate::digest::mix64;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Runs one job, recording its latency into the `exec.job` histogram
+/// and its duration into the `exec.worker.busy_ns` counter (from which
+/// worker utilization = busy_ns / (workers × batch wall time) follows).
+/// While observability is disabled this is just the call.
+#[inline]
+fn run_job<C, O>(f: &(impl Fn(usize, &C) -> O + ?Sized), i: usize, c: &C) -> O {
+    if !clapped_obs::enabled() {
+        return f(i, c);
+    }
+    let start = std::time::Instant::now();
+    let out = f(i, c);
+    let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    clapped_obs::observe("exec.job", ns);
+    clapped_obs::count("exec.worker.busy_ns", ns);
+    out
+}
+
 /// Configuration of an [`Engine`]. The default (`jobs: 0, seed: 0`)
 /// selects the host's available parallelism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -134,9 +151,12 @@ impl Engine {
     {
         self.batches_run.fetch_add(1, Ordering::Relaxed);
         self.jobs_run.fetch_add(items.len() as u64, Ordering::Relaxed);
+        let _batch_span = clapped_obs::span("exec.batch");
+        clapped_obs::observe("exec.batch.jobs", items.len() as u64);
         let workers = self.jobs.min(items.len());
+        clapped_obs::gauge_set("exec.batch.workers", workers as f64);
         if workers <= 1 {
-            return items.iter().enumerate().map(|(i, c)| f(i, c)).collect();
+            return items.iter().enumerate().map(|(i, c)| run_job(&f, i, c)).collect();
         }
         let next = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, O)>> = Mutex::new(Vec::with_capacity(items.len()));
@@ -149,7 +169,7 @@ impl Engine {
                         if i >= items.len() {
                             break;
                         }
-                        local.push((i, f(i, &items[i])));
+                        local.push((i, run_job(&f, i, &items[i])));
                     }
                     collected
                         .lock()

@@ -92,6 +92,7 @@ impl ConvPlan {
         muls: &[Arc<dyn Mul8s>],
     ) -> ConvPlan {
         assert_eq!(muls.len(), coeffs.len(), "one operator per coefficient");
+        let _span = clapped_obs::span("imgproc.plan.compile");
         let mut flat = Vec::with_capacity(muls.len() * 128);
         for (m, &c) in muls.iter().zip(coeffs) {
             flat.extend_from_slice(&lower_tap(m.as_ref(), c));
@@ -110,6 +111,7 @@ impl ConvPlan {
     /// accumulators (`acc >> shift`, no clamping) row-major at
     /// `(width.div_ceil(stride), height.div_ceil(stride))`.
     pub(crate) fn run_2d(&self, img: &Image, stride: usize) -> (usize, usize, Vec<i32>) {
+        let _span = clapped_obs::span("imgproc.plan.execute");
         let w = self.window;
         let half = w / 2;
         let (iw, ih) = (img.width(), img.height());
@@ -171,6 +173,7 @@ impl ConvPlan {
         stride: usize,
         horizontal: bool,
     ) -> (usize, usize, Vec<i32>) {
+        let _span = clapped_obs::span("imgproc.plan.execute");
         let w = self.window;
         let half = w / 2;
         let (iw, ih) = (img.width(), img.height());

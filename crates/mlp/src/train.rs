@@ -62,6 +62,12 @@ pub struct TrainReport {
     pub val_loss: Vec<f64>,
     /// Epoch at which training stopped.
     pub stopped_epoch: usize,
+    /// Samples used for gradient updates (always at least 1).
+    pub n_train: usize,
+    /// Samples held out for validation. When 0 — a tiny dataset or a
+    /// `validation_fraction` that rounds to nothing — early stopping
+    /// monitors the training loss instead.
+    pub n_val: usize,
 }
 
 /// Adam/SGD state per layer.
@@ -184,10 +190,13 @@ pub(crate) fn train(
 ) -> TrainReport {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(0x9E37_79B9));
     let n = xs.len();
-    let n_val = ((n as f64) * config.validation_fraction).round() as usize;
+    // Clamp the split so at least one training sample always remains,
+    // even when `validation_fraction` rounds up to the whole dataset.
+    let n_val = (((n as f64) * config.validation_fraction).round() as usize)
+        .min(n.saturating_sub(1));
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(&mut rng);
-    let (val_idx, train_idx) = order.split_at(n_val.min(n.saturating_sub(1)));
+    let (val_idx, train_idx) = order.split_at(n_val);
     let train_idx: Vec<usize> = train_idx.to_vec();
     let val_idx: Vec<usize> = val_idx.to_vec();
 
@@ -243,9 +252,15 @@ pub(crate) fn train(
                 apply_update(mlp, &g, &mut state, config);
             }
         }
-        train_hist.push(epoch_loss / train_idx.len().max(1) as f64);
+        let tloss = epoch_loss / train_idx.len().max(1) as f64;
+        train_hist.push(tloss);
 
-        if !val_idx.is_empty() {
+        // Early stopping monitors validation loss when a split exists,
+        // and falls back to the training loss otherwise — an empty
+        // validation set must not silently disable best-weight tracking.
+        let monitored = if val_idx.is_empty() {
+            tloss
+        } else {
             let vloss = val_idx
                 .iter()
                 .map(|&i| {
@@ -259,16 +274,17 @@ pub(crate) fn train(
                 .sum::<f64>()
                 / val_idx.len() as f64;
             val_hist.push(vloss);
-            if vloss < best_val - 1e-12 {
-                best_val = vloss;
-                best_weights = Some(mlp.clone());
-                since_best = 0;
-            } else {
-                since_best += 1;
-                if config.patience > 0 && since_best >= config.patience {
-                    stopped = epoch + 1;
-                    break;
-                }
+            vloss
+        };
+        if monitored < best_val - 1e-12 {
+            best_val = monitored;
+            best_weights = Some(mlp.clone());
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if config.patience > 0 && since_best >= config.patience {
+                stopped = epoch + 1;
+                break;
             }
         }
     }
@@ -279,6 +295,8 @@ pub(crate) fn train(
         train_loss: train_hist,
         val_loss: val_hist,
         stopped_epoch: stopped,
+        n_train: train_idx.len(),
+        n_val: val_idx.len(),
     }
 }
 
@@ -412,6 +430,63 @@ mod tests {
         let model = Regressor::fit(&xs, &ys, &[4], &config).unwrap();
         assert!(model.report().stopped_epoch <= 1000);
         assert!(!model.report().val_loss.is_empty());
+    }
+
+    #[test]
+    fn tiny_datasets_train_with_any_validation_fraction() {
+        for n in 1..=4usize {
+            for vf in [0.0, 0.5] {
+                let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+                let ys: Vec<f64> = (0..n).map(|i| i as f64).collect();
+                let config = TrainConfig {
+                    epochs: 30,
+                    patience: 3,
+                    validation_fraction: vf,
+                    ..TrainConfig::default()
+                };
+                let model = Regressor::fit(&xs, &ys, &[4], &config)
+                    .unwrap_or_else(|e| panic!("n={n} vf={vf}: {e:?}"));
+                let report = model.report();
+                assert_eq!(report.n_train + report.n_val, n, "n={n} vf={vf}");
+                assert!(report.n_train >= 1, "at least one training sample must remain");
+                assert_eq!(report.val_loss.len().min(1), usize::from(report.n_val > 0));
+                if vf == 0.0 {
+                    assert_eq!(report.n_val, 0);
+                    assert!(report.val_loss.is_empty());
+                }
+                if n == 4 && vf == 0.5 {
+                    assert_eq!((report.n_train, report.n_val), (2, 2));
+                }
+                assert!(report.train_loss.iter().all(|l| l.is_finite()));
+                assert!(model.predict(&[0.5]).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn early_stopping_falls_back_to_training_loss_without_validation() {
+        // validation_fraction rounds to zero: round(4 * 0.1) = 0 held out.
+        let xs: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..4).map(|i| i as f64).collect();
+        let config = TrainConfig {
+            epochs: 100,
+            patience: 3,
+            validation_fraction: 0.1,
+            // Zero learning rate freezes the loss, so the training-loss
+            // monitor sees no improvement and patience must trigger.
+            learning_rate: 0.0,
+            ..TrainConfig::default()
+        };
+        let model = Regressor::fit(&xs, &ys, &[4], &config).unwrap();
+        let report = model.report();
+        assert_eq!(report.n_val, 0);
+        assert!(report.val_loss.is_empty());
+        assert_eq!(
+            report.stopped_epoch,
+            1 + config.patience,
+            "patience over the training loss must stop the run"
+        );
+        assert!(report.stopped_epoch < config.epochs);
     }
 
     #[test]

@@ -587,6 +587,6 @@ mod tests {
         assert!(p1.iter().all(|&p| (0.0..=1.0).contains(&p)));
         // The xor-chain has no logic masking: every exercised net
         // propagates every flip.
-        assert!(p1.iter().any(|&p| p == 1.0));
+        assert!(p1.contains(&1.0));
     }
 }

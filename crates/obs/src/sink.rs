@@ -1,0 +1,125 @@
+//! The JSONL event sink.
+//!
+//! When installed (via [`crate::enable_jsonl`]), every closed span and
+//! every explicit [`emit_point`] appends one JSON object per line to
+//! the trace file (by convention `results/trace.jsonl`). Records carry
+//! **monotonic** timestamps in nanoseconds since the sink was
+//! installed — wall-clock time never enters the trace, and nothing in
+//! the trace ever feeds back into content digests or checkpoints.
+//!
+//! Record shapes:
+//!
+//! ```json
+//! {"type":"start","version":1}
+//! {"type":"span","name":"exec.batch","t_ns":123,"dur_ns":456,"depth":0,"thread":0}
+//! {"type":"point","name":"dse.mbo.hv","t_ns":789,"evals":20.0,"hv":3.25}
+//! {"type":"metrics","t_ns":999,"metrics":{...}}
+//! ```
+
+use serde_json::{json, Number, Value};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+struct Sink {
+    writer: BufWriter<File>,
+    epoch: Instant,
+}
+
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+/// Small dense thread ids for trace records (the OS `ThreadId` has no
+/// stable public integer form).
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|&id| id)
+}
+
+pub(crate) fn install(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file = File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    writeln!(writer, "{}", json!({ "type": "start", "version": 1 }))?;
+    *SINK.lock().expect("trace sink lock poisoned") = Some(Sink { writer, epoch: Instant::now() });
+    Ok(())
+}
+
+fn with_sink(f: impl FnOnce(&mut Sink)) {
+    if let Some(sink) = SINK.lock().expect("trace sink lock poisoned").as_mut() {
+        f(sink);
+    }
+}
+
+fn elapsed_ns(sink: &Sink) -> u64 {
+    sink.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+pub(crate) fn emit_span(name: &str, depth: u32, dur_ns: u64) {
+    with_sink(|sink| {
+        let record = json!({
+            "type": "span",
+            "name": name,
+            "t_ns": elapsed_ns(sink),
+            "dur_ns": dur_ns,
+            "depth": depth,
+            "thread": thread_id(),
+        });
+        let _ = writeln!(sink.writer, "{record}");
+    });
+}
+
+/// Emits one point record with numeric fields (non-finite values are
+/// written as `null`); no-op while observability is disabled or when no
+/// JSONL sink is installed.
+pub fn emit_point(name: &str, fields: &[(&str, f64)]) {
+    if !crate::enabled() {
+        return;
+    }
+    with_sink(|sink| {
+        let mut map = serde_json::Map::new();
+        map.insert("type".to_string(), Value::String("point".to_string()));
+        map.insert("name".to_string(), Value::String(name.to_string()));
+        map.insert("t_ns".to_string(), Value::from(elapsed_ns(sink)));
+        for &(key, v) in fields {
+            let value = Number::from_f64(v).map(Value::Number).unwrap_or(Value::Null);
+            map.insert(key.to_string(), value);
+        }
+        let _ = writeln!(sink.writer, "{}", Value::Object(map));
+    });
+}
+
+/// Flushes buffered trace records to disk (no-op without a sink).
+pub fn flush() {
+    with_sink(|sink| {
+        let _ = sink.writer.flush();
+    });
+}
+
+/// Writes the trailing metrics record, flushes and closes the sink.
+pub(crate) fn close() {
+    let mut guard = SINK.lock().expect("trace sink lock poisoned");
+    if let Some(mut sink) = guard.take() {
+        let record = json!({
+            "type": "metrics",
+            "t_ns": elapsed_ns(&sink),
+            "metrics": crate::metrics::snapshot_json(),
+        });
+        let _ = writeln!(sink.writer, "{record}");
+        let _ = sink.writer.flush();
+    }
+}
+
+pub(crate) fn is_installed() -> bool {
+    SINK.lock().expect("trace sink lock poisoned").is_some()
+}

@@ -26,6 +26,7 @@ fn jobs_from_args() -> usize {
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
+    clapped::obs::init_trace_from_args();
     let fw = Clapped::builder()
         .image_size(32)
         .noise_sigma(12.0)
@@ -112,5 +113,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         tables.misses,
         tables.hits
     );
+    if let Some(report) = clapped::obs::finish() {
+        println!("\n{report}");
+    }
     Ok(())
 }

@@ -11,8 +11,10 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn Error>> {
+    clapped::obs::init_trace_from_args();
     let out_dir = std::env::args()
-        .nth(1)
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results/edges"));
     std::fs::create_dir_all(&out_dir)?;
@@ -44,5 +46,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("{:<18} {:>10.2} {:>10.3}", "exact, stride 2", q.psnr_db, q.error_percent);
 
     println!("\nedge maps written to {}", out_dir.display());
+    if let Some(report) = clapped::obs::finish() {
+        println!("\n{report}");
+    }
     Ok(())
 }

@@ -13,8 +13,10 @@ use std::fs;
 use std::path::PathBuf;
 
 fn main() -> Result<(), Box<dyn Error>> {
+    clapped::obs::init_trace_from_args();
     let out_dir = std::env::args()
-        .nth(1)
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results/verilog"));
     fs::create_dir_all(&out_dir)?;
@@ -52,5 +54,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         dp_mapped.depth
     );
     println!("Verilog written to {}", out_dir.display());
+    if let Some(report) = clapped::obs::finish() {
+        println!("\n{report}");
+    }
     Ok(())
 }

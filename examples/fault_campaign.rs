@@ -31,6 +31,7 @@ fn jobs_from_args() -> usize {
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
+    clapped::obs::init_trace_from_args();
     let jobs = jobs_from_args();
     let engine = Engine::new(ExecConfig::with_jobs(jobs));
     println!("evaluation engine: {} worker thread(s)", engine.jobs());
@@ -131,5 +132,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         "\nstuck-at-1 on the product MSB corrupts {} / 65536 table entries",
         faulted.corrupted_entries(approx.as_ref())
     );
+    if let Some(report) = clapped::obs::finish() {
+        println!("\n{report}");
+    }
     Ok(())
 }

@@ -12,6 +12,7 @@ use clapped::dse::Configuration;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
+    clapped::obs::init_trace_from_args();
     let fw = Clapped::builder()
         .image_size(64)
         .noise_sigma(12.0)
@@ -57,5 +58,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!();
     println!("Expected shape (paper): Ac:1 has the best PSNR and the most");
     println!("energy; Ax:2 is the most energy-efficient with the lowest PSNR.");
+    if let Some(report) = clapped::obs::finish() {
+        println!("\n{report}");
+    }
     Ok(())
 }

@@ -29,6 +29,7 @@ fn jobs_from_args() -> usize {
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
+    clapped::obs::init_trace_from_args();
     let catalog = Catalog::standard();
     let engine = Engine::new(ExecConfig::with_jobs(jobs_from_args()));
     println!("characterizing {} operators on {} thread(s)", catalog.len(), engine.jobs());
@@ -73,5 +74,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("PR-estMAE below CF-estMAE across the catalog reproduces the");
     println!("paper's Section II finding that PR models track approximate");
     println!("operators far better than distribution-based curve fitting.");
+    if let Some(report) = clapped::obs::finish() {
+        println!("\n{report}");
+    }
     Ok(())
 }

@@ -11,6 +11,7 @@ use std::error::Error;
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn Error>> {
+    clapped::obs::init_trace_from_args();
     // 1. Pick operators from the library.
     let catalog = Catalog::standard();
     let exact = catalog.get("mul8s_exact").expect("catalog operator");
@@ -49,6 +50,9 @@ fn main() -> Result<(), Box<dyn Error>> {
             "{label:>6} accelerator: {:4} LUTs, {:.2} ns CPD, {:.1} mW, {:.2} uJ/image",
             r.luts, r.cpd_ns, r.total_power_mw, r.energy_per_image_uj
         );
+    }
+    if let Some(report) = clapped::obs::finish() {
+        println!("\n{report}");
     }
     Ok(())
 }

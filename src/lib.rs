@@ -23,6 +23,8 @@
 //! - [`dse`] — Pareto tools, hypervolume, MBO and baseline searches.
 //! - [`exec`] — deterministic parallel evaluation engine with
 //!   content-addressed result caching.
+//! - [`obs`] — structured tracing and metrics (spans, counters, JSONL
+//!   trace sink; enabled with `--trace` in the examples).
 //! - [`core`] — the CLAppED framework façade wiring all stages together.
 //!
 //! # Quick start
@@ -44,3 +46,4 @@ pub use clapped_imgproc as imgproc;
 pub use clapped_la as la;
 pub use clapped_mlp as mlp;
 pub use clapped_netlist as netlist;
+pub use clapped_obs as obs;
