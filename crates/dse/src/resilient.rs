@@ -15,7 +15,7 @@ use crate::{DseError, Result};
 use rand_chacha::ChaCha8Rng;
 use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Failure-isolation policy for [`mbo_resilient`].
 #[derive(Debug, Clone, PartialEq)]
@@ -107,7 +107,9 @@ fn drive<C: Clone>(
     objective: impl FnMut(&C) -> Vec<f64>,
     mut between_steps: impl FnMut(&MboState<C>),
 ) -> Result<ResilientResult<C>> {
-    let start = Instant::now();
+    // Wall-clock budget via the clapped-obs clock facade (only obs reads
+    // the clock directly).
+    let deadline = clapped_obs::Deadline::from_budget(resilience.deadline);
     let objective = RefCell::new(objective);
     let evaluations = Cell::new(0usize);
     let failures = Cell::new(0usize);
@@ -119,10 +121,8 @@ fn drive<C: Clone>(
                 return Err(DseError::Stopped(StopReason::EvaluationBudget));
             }
         }
-        if let Some(deadline) = resilience.deadline {
-            if start.elapsed() >= deadline {
-                return Err(DseError::Stopped(StopReason::Deadline));
-            }
+        if deadline.expired() {
+            return Err(DseError::Stopped(StopReason::Deadline));
         }
         let attempts = resilience.max_retries_per_candidate + 1;
         let mut last_reason = String::new();

@@ -13,7 +13,7 @@ use serde_json::Value;
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::digest::mix64;
 
@@ -97,6 +97,7 @@ impl CacheStats {
 /// last-use tick; the tick index finds the coldest entry in O(log n).
 #[derive(Debug)]
 struct Lru<V> {
+    // lint-allow(hash-containers): probed by digest key only, never iterated
     map: HashMap<u64, (V, u64)>,
     by_tick: BTreeMap<u64, u64>,
     tick: u64,
@@ -105,6 +106,7 @@ struct Lru<V> {
 
 impl<V> Lru<V> {
     fn new(capacity: usize) -> Lru<V> {
+        // lint-allow(hash-containers): probed by digest key only, never iterated
         Lru { map: HashMap::new(), by_tick: BTreeMap::new(), tick: 0, capacity: capacity.max(1) }
     }
 
@@ -128,8 +130,11 @@ impl<V> Lru<V> {
         self.by_tick.insert(self.tick, key);
         let mut evicted = 0;
         while self.map.len() > self.capacity {
-            let (&coldest_tick, &coldest_key) =
-                self.by_tick.iter().next().expect("LRU tick index tracks map");
+            // by_tick mirrors map one-to-one, so it cannot run out while
+            // map is over capacity; break defensively instead of panicking.
+            let Some((&coldest_tick, &coldest_key)) = self.by_tick.iter().next() else {
+                break;
+            };
             self.by_tick.remove(&coldest_tick);
             self.map.remove(&coldest_key);
             evicted += 1;
@@ -197,6 +202,15 @@ impl<V: Clone + CacheCodec> ResultCache<V> {
         self
     }
 
+    /// Locks the LRU, recovering from poison: every mutation inside the
+    /// critical sections below is panic-free plain-data bookkeeping, so a
+    /// poisoned lock (a caller's panic unwound while holding a guard
+    /// elsewhere on the thread, quarantined by DSE's `catch_unwind`)
+    /// still protects a consistent structure.
+    fn lru(&self) -> MutexGuard<'_, Lru<V>> {
+        self.lru.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn mixed(&self, key: u64) -> u64 {
         mix64(key ^ self.salt)
     }
@@ -241,7 +255,7 @@ impl<V: Clone + CacheCodec> ResultCache<V> {
     pub fn get(&self, key: u64) -> Option<V> {
         let mixed = self.mixed(key);
         {
-            let mut lru = self.lru.lock().expect("cache lock poisoned");
+            let mut lru = self.lru();
             if let Some(v) = lru.touch(mixed) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 clapped_obs::count("exec.cache.hit", 1);
@@ -251,8 +265,7 @@ impl<V: Clone + CacheCodec> ResultCache<V> {
         if let Some(v) = self.disk_read(mixed) {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
             clapped_obs::count("exec.cache.disk_hit", 1);
-            let evicted =
-                self.lru.lock().expect("cache lock poisoned").insert(mixed, v.clone());
+            let evicted = self.lru().insert(mixed, v.clone());
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
             clapped_obs::count("exec.cache.evict", evicted);
             return Some(v);
@@ -268,7 +281,7 @@ impl<V: Clone + CacheCodec> ResultCache<V> {
         self.insertions.fetch_add(1, Ordering::Relaxed);
         clapped_obs::count("exec.cache.insert", 1);
         self.disk_write(mixed, &value);
-        let evicted = self.lru.lock().expect("cache lock poisoned").insert(mixed, value);
+        let evicted = self.lru().insert(mixed, value);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
         clapped_obs::count("exec.cache.evict", evicted);
     }
@@ -296,7 +309,7 @@ impl<V: Clone + CacheCodec> ResultCache<V> {
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             disk_corrupt: self.disk_corrupt.load(Ordering::Relaxed),
-            entries: self.lru.lock().expect("cache lock poisoned").map.len(),
+            entries: self.lru().map.len(),
         }
     }
 }

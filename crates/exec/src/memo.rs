@@ -7,10 +7,13 @@
 //! an operator behavioural table needs (a 65k-entry exhaustive netlist
 //! simulation should never run twice for the same netlist).
 
+// lint-allow-file(hash-containers): the memo table is generic over any
+// `K: Hash` key and is only ever probed by key, never iterated.
+
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Hit/miss counters of a [`Memo`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,12 +74,21 @@ impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
         }
     }
 
+    /// Locks the table, recovering from poison: a `compute` closure that
+    /// panicked did so *before* its `insert`, so the table a poisoned
+    /// lock protects is still consistent (the failed key is simply
+    /// absent). DSE quarantines panicking evaluations with
+    /// `catch_unwind`; the memo must stay usable afterwards.
+    fn table(&self) -> MutexGuard<'_, HashMap<K, V>> {
+        self.table.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Returns the memoized value for `key`, computing and storing it on
     /// first use. The computation runs while holding the table lock:
     /// strict once-per-process semantics, at the cost of serializing
     /// concurrent *misses*. Hits only briefly take the lock to clone.
     pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
-        let mut table = self.table.lock().expect("memo lock poisoned");
+        let mut table = self.table();
         if let Some(v) = table.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             clapped_obs::count("exec.memo.hit", 1);
@@ -91,7 +103,7 @@ impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
 
     /// Returns the memoized value for `key` without computing.
     pub fn get(&self, key: &K) -> Option<V> {
-        let table = self.table.lock().expect("memo lock poisoned");
+        let table = self.table();
         let found = table.get(key).cloned();
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -108,13 +120,13 @@ impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
         MemoStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.table.lock().expect("memo lock poisoned").len(),
+            entries: self.table().len(),
         }
     }
 
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
-        self.table.lock().expect("memo lock poisoned").clear();
+        self.table().clear();
     }
 }
 

@@ -11,20 +11,22 @@
 
 use crate::digest::mix64;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Runs one job, recording its latency into the `exec.job` histogram
 /// and its duration into the `exec.worker.busy_ns` counter (from which
 /// worker utilization = busy_ns / (workers × batch wall time) follows).
-/// While observability is disabled this is just the call.
+/// While observability is disabled this is just the call. Timing goes
+/// through the `clapped-obs` stopwatch facade — only `clapped-obs`
+/// touches the wall clock directly.
 #[inline]
 fn run_job<C, O>(f: &(impl Fn(usize, &C) -> O + ?Sized), i: usize, c: &C) -> O {
     if !clapped_obs::enabled() {
         return f(i, c);
     }
-    let start = std::time::Instant::now();
+    let watch = clapped_obs::Stopwatch::start();
     let out = f(i, c);
-    let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    let ns = watch.elapsed_ns();
     clapped_obs::observe("exec.job", ns);
     clapped_obs::count("exec.worker.busy_ns", ns);
     out
@@ -171,14 +173,19 @@ impl Engine {
                         }
                         local.push((i, run_job(&f, i, &items[i])));
                     }
+                    // Recover from poison: a worker that panicked did so
+                    // inside `run_job`, never while holding this lock,
+                    // so the partial result vector is intact — and the
+                    // scope re-raises the panic after joining anyway.
                     collected
                         .lock()
-                        .expect("result mutex poisoned by a panicking worker")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .append(&mut local);
                 });
             }
         });
-        let mut collected = collected.into_inner().expect("scope joined all workers");
+        let mut collected =
+            collected.into_inner().unwrap_or_else(PoisonError::into_inner);
         collected.sort_by_key(|&(i, _)| i);
         collected.into_iter().map(|(_, o)| o).collect()
     }

@@ -1,0 +1,185 @@
+//! The workspace static-analysis gate.
+//!
+//! ```text
+//! clapped_lint [--root PATH] [--json] [--deny]
+//! ```
+//!
+//! Runs both analysis targets — the source/layering lints over the
+//! workspace tree and the structural lints over every catalog operator
+//! netlist (raw and optimized) — then prints a human-readable report,
+//! or one JSON document with `--json`. With `--deny`, any source
+//! finding or structural error makes the process exit 1; this is the
+//! required CI step.
+
+use clapped_lint::netlists::{lint_catalog, OpReport};
+use clapped_lint::{lint_workspace, Finding, StructSeverity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    deny: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { root: PathBuf::from("."), json: false, deny: false };
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--deny" => args.deny = true,
+            "--root" => {
+                args.root = PathBuf::from(argv.next().ok_or("--root needs a path")?);
+            }
+            other => {
+                if let Some(p) = other.strip_prefix("--root=") {
+                    args.root = PathBuf::from(p);
+                } else {
+                    return Err(format!("unknown argument `{other}` (try --root PATH, --json, --deny)"));
+                }
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn findings_json(findings: &[Finding]) -> serde_json::Value {
+    serde_json::Value::Array(
+        findings
+            .iter()
+            .map(|f| {
+                serde_json::json!({
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "message": f.message,
+                })
+            })
+            .collect(),
+    )
+}
+
+fn op_json(r: &OpReport) -> serde_json::Value {
+    let struct_findings = |rep: &clapped_lint::StructReport| {
+        serde_json::Value::Array(
+            rep.findings
+                .iter()
+                .map(|f| {
+                    serde_json::json!({
+                        "rule": f.rule,
+                        "severity": match f.severity {
+                            StructSeverity::Error => "error",
+                            StructSeverity::Warning => "warning",
+                        },
+                        "signal": f.signal.map(|s| s.index()),
+                        "message": f.message,
+                    })
+                })
+                .collect(),
+        )
+    };
+    serde_json::json!({
+        "name": r.name,
+        "clean": r.is_clean(),
+        "raw": {
+            "gates": r.raw.stats.gates,
+            "logic_gates": r.raw.stats.logic_gates,
+            "depth": r.raw.stats.depth,
+            "max_fanout": r.raw.stats.max_fanout,
+            "dead_gates": r.raw.stats.dead_gates,
+            "findings": struct_findings(&r.raw),
+        },
+        "optimized": {
+            "logic_gates": r.optimized.stats.logic_gates,
+            "depth": r.optimized.stats.depth,
+            "dead_gates": r.optimized.stats.dead_gates,
+            "findings": struct_findings(&r.optimized),
+        },
+        "escalations": r.escalations,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("clapped_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match lint_workspace(&args.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("clapped_lint: cannot lint {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let ops = lint_catalog();
+    let dirty_ops: Vec<&OpReport> = ops.iter().filter(|r| !r.is_clean()).collect();
+    let struct_warnings: usize =
+        ops.iter().map(|r| r.raw.warnings().count() + r.optimized.warnings().count()).sum();
+
+    if args.json {
+        let doc = serde_json::json!({
+            "source": {
+                "findings": findings_json(&findings),
+                "count": findings.len(),
+            },
+            "netlists": {
+                "operators": ops.iter().map(op_json).collect::<Vec<_>>(),
+                "dirty": dirty_ops.len(),
+                "warnings": struct_warnings,
+            },
+            "deny": args.deny,
+            "ok": findings.is_empty() && dirty_ops.is_empty(),
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).unwrap_or_default());
+    } else {
+        println!("== clapped_lint: source rules ==");
+        if findings.is_empty() {
+            println!("clean ({} files scanned)", source_count(&args));
+        } else {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("{} finding(s)", findings.len());
+        }
+        println!();
+        println!("== clapped_lint: catalog netlists ==");
+        for r in &ops {
+            let status = if r.is_clean() { "ok " } else { "FAIL" };
+            println!(
+                "{status} {:<16} raw: {:>4} gates depth {:>2} dead {:>2} | opt: {:>4} gates depth {:>2}",
+                r.name,
+                r.raw.stats.logic_gates,
+                r.raw.stats.depth,
+                r.raw.stats.dead_gates,
+                r.optimized.stats.logic_gates,
+                r.optimized.stats.depth,
+            );
+            for f in r.raw.errors().chain(r.optimized.errors()) {
+                println!("     error[{}]: {}", f.rule, f.message);
+            }
+            for e in &r.escalations {
+                println!("     escalation: {e}");
+            }
+        }
+        println!(
+            "{} operator(s), {} dirty, {} structural warning(s)",
+            ops.len(),
+            dirty_ops.len(),
+            struct_warnings
+        );
+    }
+
+    if args.deny && (!findings.is_empty() || !dirty_ops.is_empty()) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn source_count(args: &Args) -> usize {
+    clapped_lint::workspace_sources(&args.root).map(|v| v.len()).unwrap_or(0)
+}

@@ -1,0 +1,193 @@
+//! Crate-layering lint: the dependency DAG must respect the layer
+//! ranking below, derived from each crate's `Cargo.toml`.
+//!
+//! Each workspace crate sits in a numbered layer; a crate may depend
+//! only on crates in **strictly lower** layers. `[dev-dependencies]`
+//! are exempt (tests may reach sideways), and non-workspace (vendored)
+//! dependencies are ignored. The ranking makes inversions — say,
+//! `clapped-netlist` growing a dependency on `clapped-dse` — a lint
+//! error instead of a slow architectural drift.
+
+use crate::Finding;
+use std::io;
+use std::path::Path;
+
+/// Layer rank per workspace crate. Leaves (no workspace deps) at 0,
+/// the bench harness at the top. A dependency is legal iff
+/// `rank(dep) < rank(crate)`.
+const LAYERS: &[(&str, u32)] = &[
+    ("clapped-obs", 0),
+    ("clapped-la", 0),
+    ("clapped-exec", 1),
+    ("clapped-netlist", 2),
+    ("clapped-mlp", 2),
+    ("clapped-axops", 3),
+    ("clapped-errmodel", 4),
+    ("clapped-imgproc", 4),
+    ("clapped-accel", 5),
+    ("clapped-dse", 5),
+    ("clapped-core", 6),
+    ("clapped-lint", 6),
+    ("clapped-bench", 7),
+];
+
+fn rank(name: &str) -> Option<u32> {
+    LAYERS.iter().find(|(n, _)| *n == name).map(|&(_, r)| r)
+}
+
+/// Extracts `[dependencies]` entries (names only) from a manifest.
+/// Line-oriented: good enough for this workspace's plain manifests.
+fn dependencies(manifest: &str) -> Vec<String> {
+    let mut deps = Vec::new();
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let name: String = line
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            deps.push(name);
+        }
+    }
+    deps
+}
+
+/// Checks one crate's direct dependency list against the layer table.
+/// Exposed (crate-visible) so tests can seed violations without a
+/// filesystem fixture.
+pub(crate) fn check_crate(name: &str, deps: &[String], manifest_path: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(my_rank) = rank(name) else {
+        findings.push(Finding {
+            rule: "layering",
+            path: manifest_path.to_string(),
+            line: 0,
+            message: format!(
+                "crate `{name}` is not in the layer table; add it to LAYERS in \
+                 crates/lint/src/layering.rs with its rank"
+            ),
+        });
+        return findings;
+    };
+    for dep in deps {
+        let Some(dep_rank) = rank(dep) else {
+            // Vendored / external dependency: out of scope.
+            continue;
+        };
+        if dep_rank >= my_rank {
+            findings.push(Finding {
+                rule: "layering",
+                path: manifest_path.to_string(),
+                line: 0,
+                message: format!(
+                    "`{name}` (layer {my_rank}) must not depend on `{dep}` (layer \
+                     {dep_rank}): dependencies may only point at strictly lower layers"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Parses every `crates/*/Cargo.toml` and checks the dependency DAG
+/// against the layer table.
+///
+/// # Errors
+///
+/// Propagates filesystem errors reading the manifests.
+pub fn lint_layering(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let mut crate_dirs: Vec<std::path::PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(root.join("crates"))? {
+        let p = entry?.path();
+        if p.join("Cargo.toml").is_file() {
+            crate_dirs.push(p);
+        }
+    }
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let manifest = std::fs::read_to_string(dir.join("Cargo.toml"))?;
+        let name = manifest
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("name = ").map(|v| v.trim_matches('"').to_string()))
+            .unwrap_or_default();
+        let rel = format!(
+            "crates/{}/Cargo.toml",
+            dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+        );
+        findings.extend(check_crate(&name, &dependencies(&manifest), &rel));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deps(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn inversion_is_reported() {
+        let f = check_crate("clapped-netlist", &deps(&["clapped-dse"]), "crates/netlist/Cargo.toml");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "layering");
+        assert!(f[0].message.contains("clapped-dse"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn same_layer_dependency_is_reported() {
+        let f = check_crate("clapped-accel", &deps(&["clapped-dse"]), "x");
+        assert_eq!(f.len(), 1, "same-rank deps are cycles waiting to happen");
+    }
+
+    #[test]
+    fn legal_downward_deps_are_quiet() {
+        let f = check_crate(
+            "clapped-axops",
+            &deps(&["clapped-exec", "clapped-netlist", "serde", "rand"]),
+            "x",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unknown_crate_is_reported() {
+        let f = check_crate("clapped-new-thing", &deps(&[]), "x");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("layer table"));
+    }
+
+    #[test]
+    fn dependencies_parser_reads_only_the_deps_section() {
+        let manifest = "\
+[package]
+name = \"clapped-x\"
+
+[dependencies]
+clapped-obs.workspace = true
+rand = { version = \"0.8\", default-features = false }
+
+[dev-dependencies]
+proptest.workspace = true
+";
+        assert_eq!(dependencies(manifest), vec!["clapped-obs", "rand"]);
+    }
+
+    /// The real workspace respects the layering.
+    #[test]
+    fn workspace_layering_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let f = lint_layering(&root).expect("read manifests");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Structural lint pass over the approximate-operator catalog.
+//!
+//! Every multiplier in [`clapped_axops::Catalog::standard`] and every
+//! adder in [`clapped_axops::adders::standard_adders`] is checked twice with
+//! [`clapped_netlist::lint_netlist`]:
+//!
+//! - **raw**: the netlist as generated. Structural *errors* (dangling
+//!   fanins, cycles, port problems) fail the gate; dead gates are mere
+//!   warnings here, since generators may legitimately emit logic a
+//!   truncation then orphans.
+//! - **optimized**: after `opt::optimize`. Here a surviving dead gate
+//!   *escalates to an error* — the optimizer's dead-code elimination
+//!   and the linter's cone-of-influence must agree on liveness.
+
+use clapped_axops::adders::{standard_adders, Add8s};
+use clapped_axops::{Catalog, Mul8s};
+use clapped_netlist::{lint_netlist, optimize, Netlist, StructReport};
+
+/// Lint result for one catalog operator.
+#[derive(Debug, Clone)]
+pub struct OpReport {
+    /// Operator name (e.g. `mul8s_tr3`).
+    pub name: String,
+    /// Structural report on the generated netlist.
+    pub raw: StructReport,
+    /// Structural report on the `opt::optimize` output.
+    pub optimized: StructReport,
+    /// Escalated problems: optimizer/linter disagreements.
+    pub escalations: Vec<String>,
+}
+
+impl OpReport {
+    /// Whether this operator passes the gate: no structural errors in
+    /// either form, and no escalations.
+    pub fn is_clean(&self) -> bool {
+        self.raw.errors().next().is_none()
+            && self.optimized.errors().next().is_none()
+            && self.escalations.is_empty()
+    }
+}
+
+fn lint_operator(name: &str, netlist: &Netlist) -> OpReport {
+    let raw = lint_netlist(netlist);
+    let optimized_netlist = optimize(netlist);
+    let optimized = lint_netlist(&optimized_netlist);
+    let mut escalations = Vec::new();
+    if optimized.stats.dead_gates > 0 {
+        escalations.push(format!(
+            "{} dead gate(s) survive opt::optimize — DCE and the lint cone-of-influence \
+             disagree",
+            optimized.stats.dead_gates
+        ));
+    }
+    OpReport { name: name.to_string(), raw, optimized, escalations }
+}
+
+/// Runs the structural pass over the full standard catalog (multipliers
+/// and adders), in catalog order.
+pub fn lint_catalog() -> Vec<OpReport> {
+    let catalog = Catalog::standard();
+    let mut reports: Vec<OpReport> =
+        catalog.iter().map(|m| lint_operator(Mul8s::name(&**m), m.netlist())).collect();
+    for a in standard_adders() {
+        reports.push(lint_operator(Add8s::name(&*a), a.netlist()));
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The shipped catalog is structurally sound, raw and optimized —
+    /// the same check CI runs via `clapped_lint --deny`.
+    #[test]
+    fn standard_catalog_is_structurally_clean() {
+        let reports = lint_catalog();
+        assert!(reports.len() >= 24, "expected the full catalog, got {}", reports.len());
+        for r in &reports {
+            assert!(
+                r.is_clean(),
+                "{}: errors={:?} escalations={:?}",
+                r.name,
+                r.raw.errors().chain(r.optimized.errors()).collect::<Vec<_>>(),
+                r.escalations
+            );
+            assert_eq!(
+                r.optimized.stats.dead_gates, 0,
+                "{}: optimize output must be fully live",
+                r.name
+            );
+        }
+    }
+
+    /// Every raw catalog netlist's lint live cone agrees with the
+    /// optimizer: re-linting the optimize output finds zero dead gates,
+    /// so the fault-campaign dead-site skip is consistent with DCE.
+    #[test]
+    fn dead_cone_agrees_with_optimizer_on_catalog() {
+        for r in lint_catalog() {
+            assert_eq!(r.optimized.stats.dead_gates, 0, "{}", r.name);
+            assert!(
+                r.raw.live.iter().filter(|&&l| l).count() >= r.optimized.stats.logic_gates,
+                "{}: live cone smaller than surviving logic",
+                r.name
+            );
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Lexical model of a Rust source file for the line/token-oriented
+//! lints.
+//!
+//! The scanner does **not** parse Rust. It produces just enough
+//! structure for reliable token rules:
+//!
+//! - a *code mask*: the file's text with every comment and string
+//!   literal blanked out, so a rule regexing for `HashMap` cannot fire
+//!   on prose, and the allow-comment parser cannot be fooled by a
+//!   string containing `lint-allow`;
+//! - the comment text per line (where allow comments live);
+//! - per-line `#[cfg(test)]`-region membership, tracked by brace depth
+//!   from the attribute, so rules can exempt inline test modules.
+//!
+//! This is the rustc-`tidy` trade-off: a few hundred lines of scanner
+//! instead of a parser dependency, at the cost of rules being lexical
+//! rather than semantic — which is exactly the granularity the
+//! workspace invariants need.
+
+/// One scanned source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Code with comments and string/char literal *contents* blanked to
+    /// spaces (delimiters kept), split into lines.
+    pub code_lines: Vec<String>,
+    /// Comment text per line (everything after `//` or inside `/* */`
+    /// that falls on that line), concatenated; empty when none.
+    pub comment_lines: Vec<String>,
+    /// Whether each line is inside a `#[cfg(test)]`-gated item.
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Scans `content` into the lexical model.
+    pub fn scan(path: impl Into<String>, content: &str) -> SourceFile {
+        let (code, comments) = mask(content);
+        let code_lines: Vec<String> = split_lines(&code);
+        let comment_lines: Vec<String> = split_lines(&comments);
+        let in_test = cfg_test_regions(&code_lines);
+        SourceFile { path: path.into(), code_lines, comment_lines, in_test }
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.code_lines.len()
+    }
+
+    /// True when the file has no lines.
+    pub fn is_empty(&self) -> bool {
+        self.code_lines.is_empty()
+    }
+}
+
+fn split_lines(s: &str) -> Vec<String> {
+    s.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l).to_string()).collect()
+}
+
+/// Splits `content` into a code mask and a comment mask of identical
+/// shape (same line structure). In the code mask, comments and literal
+/// contents become spaces; in the comment mask, everything *except*
+/// comment text becomes spaces.
+fn mask(content: &str) -> (String, String) {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut state = State::Code;
+    let mut code = String::with_capacity(content.len());
+    let mut comments = String::with_capacity(content.len());
+    let chars: Vec<char> = content.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            code.push('\n');
+            comments.push('\n');
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    code.push(' ');
+                    comments.push(' ');
+                    i += 1;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    code.push_str("  ");
+                    comments.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = State::Str;
+                    code.push('"');
+                    comments.push(' ');
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // Possible raw string: r"..." or r#"..."# (any #-count).
+                    let mut j = i + 1;
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        state = State::RawStr(hashes);
+                        for _ in i..=j {
+                            code.push(' ');
+                            comments.push(' ');
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    code.push(c);
+                    comments.push(' ');
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a lifetime is `'ident`
+                    // not followed by a closing quote.
+                    let is_lifetime = next.map(|n| n.is_alphabetic() || n == '_').unwrap_or(false)
+                        && chars.get(i + 2) != Some(&'\'');
+                    if is_lifetime {
+                        code.push(c);
+                        comments.push(' ');
+                    } else {
+                        state = State::Char;
+                        code.push('\'');
+                        comments.push(' ');
+                    }
+                }
+                _ => {
+                    code.push(c);
+                    comments.push(' ');
+                }
+            },
+            State::LineComment => {
+                code.push(' ');
+                comments.push(c);
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                    code.push_str("  ");
+                    comments.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    code.push_str("  ");
+                    comments.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                code.push(' ');
+                comments.push(c);
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push(' ');
+                    comments.push(' ');
+                    if next.is_some() && next != Some('\n') {
+                        code.push(' ');
+                        comments.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                } else if c == '"' {
+                    state = State::Code;
+                    code.push('"');
+                    comments.push(' ');
+                } else {
+                    code.push(' ');
+                    comments.push(' ');
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        state = State::Code;
+                        for _ in i..j {
+                            code.push(' ');
+                            comments.push(' ');
+                        }
+                        i = j;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                comments.push(' ');
+            }
+            State::Char => {
+                if c == '\\' && next.is_some() && next != Some('\n') {
+                    code.push_str("  ");
+                    comments.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    state = State::Code;
+                }
+                code.push(' ');
+                comments.push(' ');
+            }
+        }
+        i += 1;
+    }
+    (code, comments)
+}
+
+/// Marks lines belonging to `#[cfg(test)]`-gated items by tracking brace
+/// depth from the attribute through the end of the item it gates.
+fn cfg_test_regions(code_lines: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code_lines.len()];
+    let mut i = 0;
+    while i < code_lines.len() {
+        let compact: String = code_lines[i].chars().filter(|c| !c.is_whitespace()).collect();
+        if !compact.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Walk forward to the gated item's opening brace, then to its
+        // matching close.
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        while j < code_lines.len() {
+            in_test[j] = true;
+            for c in code_lines[j].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    // A gated non-brace item (e.g. `#[cfg(test)] use ...;`)
+                    // ends at the first `;` before any brace opens.
+                    ';' if !opened => {
+                        depth = 0;
+                        opened = true;
+                    }
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_blanked_from_code() {
+        let f = SourceFile::scan("x.rs", "let a = 1; // HashMap here\n/* HashMap */ let b;\n");
+        assert!(!f.code_lines[0].contains("HashMap"));
+        assert!(f.comment_lines[0].contains("HashMap here"));
+        assert!(!f.code_lines[1].contains("HashMap"));
+        assert!(f.code_lines[1].contains("let b;"));
+    }
+
+    #[test]
+    fn strings_are_blanked_but_structure_kept() {
+        let f = SourceFile::scan("x.rs", "let s = \"HashMap \\\" inside\"; let t = 1;\n");
+        assert!(!f.code_lines[0].contains("HashMap"));
+        assert!(f.code_lines[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let src = "let r = r#\"Instant::now()\"#;\nlet c = '\"';\nfn f<'a>(x: &'a u8) {}\nlet q = 'x';\n";
+        let f = SourceFile::scan("x.rs", src);
+        assert!(!f.code_lines[0].contains("Instant"));
+        assert!(f.code_lines[2].contains("fn f<'a>(x: &'a u8) {}"));
+        assert!(!f.code_lines[3].contains('x'), "char literal contents blanked");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = SourceFile::scan("x.rs", "/* outer /* inner */ still comment */ let k;\n");
+        assert!(f.code_lines[0].contains("let k;"));
+        assert!(!f.code_lines[0].contains("outer"));
+        assert!(!f.code_lines[0].contains("still"));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_the_module() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let f = SourceFile::scan("x.rs", src);
+        // (trailing empty line from the final `\n`)
+        assert_eq!(f.in_test, vec![false, true, true, true, true, false, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_single_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() {}\n";
+        let f = SourceFile::scan("x.rs", src);
+        assert_eq!(f.in_test, vec![true, true, false, false]);
+    }
+}

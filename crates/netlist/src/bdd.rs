@@ -7,6 +7,10 @@
 //! multiplier-like functions grow exponentially, so every entry point
 //! takes a node budget and fails gracefully when it is exhausted.
 
+// lint-allow-file(hash-containers): the unique table and operation caches
+// are keyed lookups, never iterated; node ids are allocated in insertion
+// order driven by the deterministic netlist walk.
+
 use crate::ir::{Gate, Netlist};
 use crate::NetlistError;
 use std::collections::HashMap;

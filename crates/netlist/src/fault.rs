@@ -136,6 +136,23 @@ pub struct CampaignReport {
     pub sites: Vec<FaultSiteReport>,
     /// Total samples (lanes) simulated per site.
     pub samples: usize,
+    /// How many of `sites` were actually simulated. Sites proven dead by
+    /// the cone-of-influence analysis (see [`CampaignOptions::skip_dead`])
+    /// are reported with zero impact without running the simulator, so
+    /// this can be smaller than `sites.len()`.
+    pub simulated_sites: usize,
+}
+
+/// Tuning knobs for a stuck-at campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignOptions {
+    /// Skip simulating fault sites on signals outside every primary
+    /// output's cone-of-influence (computed by
+    /// [`crate::lint::live_cone`]). A stuck-at on a dead net cannot
+    /// change any output, so its report — zero mismatch rate, zero
+    /// weighted error — is emitted directly. Rankings are bit-identical
+    /// to the full campaign; only the work shrinks.
+    pub skip_dead: bool,
 }
 
 impl CampaignReport {
@@ -316,6 +333,33 @@ impl Netlist {
         lanes_per_batch: usize,
         engine: &clapped_exec::Engine,
     ) -> crate::Result<CampaignReport> {
+        self.stuck_at_campaign_with_options(
+            sites,
+            input_batches,
+            lanes_per_batch,
+            engine,
+            CampaignOptions::default(),
+        )
+    }
+
+    /// [`Netlist::stuck_at_campaign_with`] with explicit
+    /// [`CampaignOptions`]. With `skip_dead` set, sites on nets outside
+    /// every output cone are reported as zero-impact without simulation
+    /// — provably the result the simulator would produce, since no path
+    /// carries the forced value to an output. [`CampaignReport::simulated_sites`]
+    /// counts the sweeps that actually ran.
+    ///
+    /// # Errors
+    ///
+    /// See [`Netlist::eval_words_with_faults`].
+    pub fn stuck_at_campaign_with_options(
+        &self,
+        sites: &[Fault],
+        input_batches: &[Vec<u64>],
+        lanes_per_batch: usize,
+        engine: &clapped_exec::Engine,
+        options: CampaignOptions,
+    ) -> crate::Result<CampaignReport> {
         assert!((1..=64).contains(&lanes_per_batch), "1..=64 lanes per batch");
         let lane_mask: u64 = if lanes_per_batch == 64 {
             !0
@@ -331,10 +375,49 @@ impl Netlist {
         let out_bits = self.outputs().len();
         let max_weight: f64 = (0..out_bits).map(|k| (k as f64).exp2()).sum();
         let samples = input_batches.len() * lanes_per_batch;
-        let sites_out = engine.try_evaluate_many(sites, |_, &fault| {
+        if !options.skip_dead {
+            let sites_out = engine.try_evaluate_many(sites, |_, &fault| {
+                self.sweep_one_site(fault, input_batches, &golden, lane_mask, max_weight, samples)
+            })?;
+            let simulated_sites = sites_out.len();
+            return Ok(CampaignReport { sites: sites_out, samples, simulated_sites });
+        }
+        // Validate every site upfront: the full sweep reports the
+        // lowest-indexed failing site, and skipping must not change
+        // which error surfaces.
+        for fault in sites {
+            if fault.signal.index() >= self.len() {
+                return Err(NetlistError::InvalidFaultSite {
+                    index: fault.signal.index(),
+                    signals: self.len(),
+                });
+            }
+        }
+        let live = crate::lint::live_cone(self);
+        let live_sites: Vec<Fault> = sites
+            .iter()
+            .copied()
+            .filter(|f| live[f.signal.index()])
+            .collect();
+        let simulated = engine.try_evaluate_many(&live_sites, |_, &fault| {
             self.sweep_one_site(fault, input_batches, &golden, lane_mask, max_weight, samples)
         })?;
-        Ok(CampaignReport { sites: sites_out, samples })
+        let simulated_sites = simulated.len();
+        // Re-interleave simulated and skipped sites in injection order.
+        let mut simulated = simulated.into_iter();
+        let sites_out = sites
+            .iter()
+            .map(|&fault| {
+                if live[fault.signal.index()] {
+                    simulated
+                        .next()
+                        .unwrap_or(FaultSiteReport { fault, mismatch_rate: 0.0, weighted_error: 0.0 })
+                } else {
+                    FaultSiteReport { fault, mismatch_rate: 0.0, weighted_error: 0.0 }
+                }
+            })
+            .collect();
+        Ok(CampaignReport { sites: sites_out, samples, simulated_sites })
     }
 
     /// Simulates every input batch under one injected fault and folds
@@ -573,6 +656,80 @@ mod tests {
         let engine = clapped_exec::Engine::new(clapped_exec::ExecConfig::with_jobs(4));
         let err = n
             .stuck_at_campaign_with(&sites, &[vec![0b1010, 0b0110]], 4, &engine)
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::InvalidFaultSite { index: 99, .. }));
+    }
+
+    #[test]
+    fn skip_dead_matches_full_campaign_with_fewer_sweeps() {
+        // An adder plus two gates outside the output cone: skipping the
+        // dead cone must leave every site report and the ranking
+        // bit-identical while counting fewer simulated sweeps.
+        let mut n = Netlist::new("deadwood");
+        let a = n.input_bus("a", 2);
+        let b = n.input_bus("b", 2);
+        let (sum, carry) = crate::bus::ripple_carry_add(&mut n, &a, &b, None);
+        let d1 = n.xor(sum[0], sum[1]);
+        let _d2 = n.and(d1, carry);
+        n.output_bus("s", &sum);
+        n.output("cout", carry);
+        let pairs: Vec<(i64, i64)> = (0..4).flat_map(|x| (0..4).map(move |y| (x, y))).collect();
+        let a_words = pack_bus_samples(&pairs.iter().map(|p| p.0).collect::<Vec<_>>(), 2);
+        let b_words = pack_bus_samples(&pairs.iter().map(|p| p.1).collect::<Vec<_>>(), 2);
+        let mut batch = a_words;
+        batch.extend(b_words);
+        let sites = n.fault_sites();
+        let engine = clapped_exec::Engine::serial();
+        let full = n
+            .stuck_at_campaign_with_options(
+                &sites,
+                &[batch.clone()],
+                16,
+                &engine,
+                CampaignOptions { skip_dead: false },
+            )
+            .unwrap();
+        let skipped = n
+            .stuck_at_campaign_with_options(
+                &sites,
+                &[batch.clone()],
+                16,
+                &engine,
+                CampaignOptions { skip_dead: true },
+            )
+            .unwrap();
+        assert_eq!(full.sites, skipped.sites, "per-site reports must be bit-identical");
+        assert_eq!(full.ranked_sites(), skipped.ranked_sites());
+        assert_eq!(full.simulated_sites, sites.len());
+        // Two dead gates x two stuck-at polarities are skipped.
+        assert_eq!(skipped.simulated_sites, sites.len() - 4);
+        // The parallel engine gives the same skipped report.
+        let engine8 = clapped_exec::Engine::new(clapped_exec::ExecConfig::with_jobs(8));
+        let par = n
+            .stuck_at_campaign_with_options(
+                &sites,
+                &[batch],
+                16,
+                &engine8,
+                CampaignOptions { skip_dead: true },
+            )
+            .unwrap();
+        assert_eq!(skipped, par);
+    }
+
+    #[test]
+    fn skip_dead_still_reports_invalid_sites() {
+        let n = xor_chain();
+        let mut sites = n.fault_sites();
+        sites.insert(1, Fault { signal: SignalId::from_index(99), kind: FaultKind::StuckAt0 });
+        let err = n
+            .stuck_at_campaign_with_options(
+                &sites,
+                &[vec![0b1010, 0b0110]],
+                4,
+                &clapped_exec::Engine::serial(),
+                CampaignOptions { skip_dead: true },
+            )
             .unwrap_err();
         assert!(matches!(err, NetlistError::InvalidFaultSite { index: 99, .. }));
     }

@@ -125,6 +125,31 @@ impl Netlist {
         }
     }
 
+    /// Builds a netlist directly from its raw parts **without checking
+    /// any structural invariant** — fanins may dangle, reference later
+    /// gates (breaking the DAG property), or the input list may disagree
+    /// with the `Gate::Input` gates present.
+    ///
+    /// This exists for artifact ingestion (deserialized or externally
+    /// generated netlists) and for seeding violations in structural-lint
+    /// tests. Always validate the result with [`crate::lint::lint_netlist`]
+    /// before simulating it; the simulator and analyses assume the
+    /// builder invariants hold.
+    pub fn from_parts(
+        name: impl Into<String>,
+        gates: Vec<Gate>,
+        inputs: Vec<SignalId>,
+        outputs: Vec<(String, SignalId)>,
+    ) -> Self {
+        Netlist {
+            name: name.into(),
+            gates,
+            inputs,
+            outputs,
+            const_cache: [None, None],
+        }
+    }
+
     /// Diagnostic name of the netlist.
     pub fn name(&self) -> &str {
         &self.name

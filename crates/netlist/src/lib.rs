@@ -40,6 +40,7 @@ pub mod bus;
 mod digest;
 mod fault;
 mod ir;
+pub mod lint;
 mod map;
 mod opt;
 mod power;
@@ -48,8 +49,9 @@ mod synth;
 mod timing;
 pub mod verilog;
 
-pub use fault::{CampaignReport, Fault, FaultKind, FaultSet, FaultSiteReport};
+pub use fault::{CampaignOptions, CampaignReport, Fault, FaultKind, FaultSet, FaultSiteReport};
 pub use ir::{Gate, Netlist, SignalId};
+pub use lint::{lint_netlist, live_cone, NetlistStats, StructFinding, StructReport, StructSeverity};
 pub use map::{map_luts, MapStrategy, MappedLut, MappedNetlist};
 pub use opt::optimize;
 pub use power::{estimate_power, PowerModel, PowerReport};

@@ -8,7 +8,7 @@
 
 use crate::ir::{Gate, Netlist, SignalId};
 use crate::NetlistError;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Maximum number of cuts kept per node (priority cuts).
 const MAX_CUTS: usize = 12;
@@ -49,8 +49,10 @@ pub struct MappedNetlist {
     /// Primary outputs (name, signal) of the source netlist.
     pub outputs: Vec<(String, SignalId)>,
     /// Constant signals of the source netlist and their values (outputs
-    /// may be tied to them directly).
-    pub constants: HashMap<SignalId, bool>,
+    /// may be tied to them directly). Ordered: [`MappedNetlist::to_netlist`]
+    /// iterates this map while creating gates, and the rebuilt netlist's
+    /// content digest must not depend on per-process hash seeds.
+    pub constants: BTreeMap<SignalId, bool>,
     /// Depth of the LUT network in levels.
     pub depth: u32,
 }
@@ -70,6 +72,7 @@ impl MappedNetlist {
     /// # Errors
     ///
     /// Returns [`NetlistError::InputCountMismatch`] on input arity mismatch.
+    // lint-allow(hash-containers): keyed scratch/result values; callers look up by SignalId, never iterate
     pub fn eval_words(&self, input_words: &[u64]) -> crate::Result<HashMap<SignalId, u64>> {
         if input_words.len() != self.inputs.len() {
             return Err(NetlistError::InputCountMismatch {
@@ -77,6 +80,7 @@ impl MappedNetlist {
                 found: input_words.len(),
             });
         }
+        // lint-allow(hash-containers): lookup-only value table, never iterated
         let mut vals: HashMap<SignalId, u64> = HashMap::new();
         for (&sig, &w) in self.inputs.iter().zip(input_words) {
             vals.insert(sig, w);
@@ -111,6 +115,7 @@ impl MappedNetlist {
     /// or formal equivalence checking against the original.
     pub fn to_netlist(&self, name: &str) -> Netlist {
         let mut n = Netlist::new(name);
+        // lint-allow(hash-containers): old-id -> new-id lookup table, never iterated
         let mut map: HashMap<SignalId, SignalId> = HashMap::new();
         for (i, &orig) in self.inputs.iter().enumerate() {
             let id = n.input(format!("pi{i}"));
@@ -276,6 +281,7 @@ pub fn map_luts(netlist: &Netlist, k: usize, strategy: MapStrategy) -> crate::Re
     // Covering: walk back from outputs, instantiating LUTs for required
     // logic nodes.
     let mut required: Vec<u32> = Vec::new();
+    // lint-allow(hash-containers): membership test only, never iterated
     let mut seen: HashSet<u32> = HashSet::new();
     for (_, sig) in netlist.outputs() {
         let root = resolve_buf(netlist, *sig);
@@ -283,7 +289,7 @@ pub fn map_luts(netlist: &Netlist, k: usize, strategy: MapStrategy) -> crate::Re
             required.push(root.0);
         }
     }
-    let mut luts_by_root: HashMap<u32, MappedLut> = HashMap::new();
+    let mut luts_by_root: BTreeMap<u32, MappedLut> = BTreeMap::new();
     while let Some(node) = required.pop() {
         let cut = best_cut[node as usize]
             .clone()
@@ -306,13 +312,12 @@ pub fn map_luts(netlist: &Netlist, k: usize, strategy: MapStrategy) -> crate::Re
         }
     }
 
-    // Topologically order the LUTs (roots are netlist ids; source order is
-    // already topological).
-    let mut luts: Vec<MappedLut> = luts_by_root.into_values().collect();
-    luts.sort_by_key(|l| l.root);
+    // The BTreeMap yields LUTs ordered by root id, which is the source
+    // netlist's creation order — already topological.
+    let luts: Vec<MappedLut> = luts_by_root.into_values().collect();
 
     // Collect constants referenced by outputs or LUT inputs.
-    let mut constants = HashMap::new();
+    let mut constants = BTreeMap::new();
     for (idx, gate) in netlist.gates().iter().enumerate() {
         if let Gate::Const(v) = gate {
             constants.insert(SignalId(idx as u32), *v);
@@ -327,6 +332,7 @@ pub fn map_luts(netlist: &Netlist, k: usize, strategy: MapStrategy) -> crate::Re
         .collect();
 
     // LUT-network depth.
+    // lint-allow(hash-containers): lookup-only level table, never iterated
     let mut level: HashMap<SignalId, u32> = HashMap::new();
     for lut in &luts {
         let lv = lut
@@ -406,6 +412,7 @@ fn cone_truth_table(netlist: &Netlist, root: SignalId, cut: &[u32]) -> crate::Re
         0xFFFF_0000_FFFF_0000,
         0xFFFF_FFFF_0000_0000,
     ];
+    // lint-allow(hash-containers): memoized cone values, looked up by id only
     let mut vals: HashMap<u32, u64> = HashMap::new();
     for (j, &leaf) in cut.iter().enumerate() {
         vals.insert(leaf, PATTERNS[j]);
@@ -416,6 +423,7 @@ fn cone_truth_table(netlist: &Netlist, root: SignalId, cut: &[u32]) -> crate::Re
     Ok(word & mask)
 }
 
+// lint-allow(hash-containers): memoized cone values, looked up by id only
 fn eval_cone(netlist: &Netlist, sig: SignalId, vals: &mut HashMap<u32, u64>) -> u64 {
     if let Some(&v) = vals.get(&sig.0) {
         return v;
@@ -575,6 +583,27 @@ mod tests {
         assert_eq!(mapped.lut_count(), 0);
         let out = mapped.simulate_words(&[0]).unwrap();
         assert_eq!(out[0], u64::MAX);
+    }
+
+    #[test]
+    fn to_netlist_gate_order_is_deterministic() {
+        // `to_netlist` iterates `constants` while creating gates; with an
+        // ordered map the rebuilt netlist (and hence its content digest)
+        // is identical however the mapping was produced. A circuit with
+        // both constant polarities exercises the multi-entry case.
+        let mut n = Netlist::new("k2");
+        let a = n.input("a");
+        let c0 = n.constant(false);
+        let c1 = n.constant(true);
+        let x = n.and(a, c1);
+        n.output("x", x);
+        n.output("z", c0);
+        n.output("o", c1);
+        let mapped = map_luts(&n, 4, MapStrategy::Depth).unwrap();
+        let r1 = mapped.to_netlist("r");
+        let r2 = mapped.clone().to_netlist("r");
+        assert_eq!(r1, r2);
+        assert_eq!(r1.content_digest(), r2.content_digest());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::map::MappedNetlist;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Power model parameters for the target fabric at a given clock.
 ///
@@ -84,7 +84,7 @@ impl PowerReport {
 pub fn estimate_power(mapped: &MappedNetlist, model: &PowerModel) -> crate::Result<PowerReport> {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(model.seed);
     // Fanout of each mapped net = number of LUTs (plus outputs) reading it.
-    let mut fanout: HashMap<crate::SignalId, f64> = HashMap::new();
+    let mut fanout: BTreeMap<crate::SignalId, f64> = BTreeMap::new();
     for lut in &mapped.luts {
         for inp in &lut.inputs {
             *fanout.entry(*inp).or_insert(0.0) += 1.0;

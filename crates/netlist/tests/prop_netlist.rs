@@ -3,7 +3,9 @@
 //! backend must agree with simulation.
 
 use clapped_netlist::bdd::{check_equivalence, BddManager, Equivalence};
-use clapped_netlist::{bus, map_luts, optimize, FaultKind, FaultSet, MapStrategy, Netlist, SignalId};
+use clapped_netlist::{
+    bus, lint_netlist, map_luts, optimize, FaultKind, FaultSet, MapStrategy, Netlist, SignalId,
+};
 use proptest::prelude::*;
 
 /// Builds a random DAG of gates over `n_inputs` inputs from an opcode
@@ -89,6 +91,23 @@ proptest! {
                 prop_assert_eq!(sim[oi], val, "output {} pattern {}", oi, pattern);
             }
         }
+    }
+
+    /// Structural lint gate on the optimizer: whatever random logic
+    /// goes in, `optimize` output carries no structural errors and no
+    /// dead gates — the lint's cone-of-influence and the optimizer's
+    /// DCE agree on liveness. (No gate-count bound is asserted: folding
+    /// legally decomposes Nand/Nor/Xnor into base gate + Not.)
+    #[test]
+    fn optimize_output_passes_structural_lints(
+        ops in proptest::collection::vec(any::<u8>(), 4..60),
+    ) {
+        let n = random_netlist(4, &ops);
+        let raw = lint_netlist(&n);
+        prop_assert!(raw.errors().next().is_none(), "{:?}", raw.findings);
+        let report = lint_netlist(&optimize(&n));
+        prop_assert!(report.errors().next().is_none(), "{:?}", report.findings);
+        prop_assert_eq!(report.stats.dead_gates, 0, "DCE left dead gates");
     }
 
     /// Adders of random widths are exact through the whole flow.

@@ -35,9 +35,11 @@
 //! clapped_obs::disable();
 //! ```
 
+pub mod clock;
 pub mod metrics;
 pub mod sink;
 
+pub use clock::{Deadline, Stopwatch};
 pub use metrics::{count, gauge_set, observe, Counter, Gauge, Histogram, MetricValue};
 pub use sink::{emit_point, flush};
 

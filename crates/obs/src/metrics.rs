@@ -186,7 +186,7 @@ enum Entry {
 static REGISTRY: Mutex<BTreeMap<&'static str, Entry>> = Mutex::new(BTreeMap::new());
 
 fn registry() -> std::sync::MutexGuard<'static, BTreeMap<&'static str, Entry>> {
-    REGISTRY.lock().expect("metrics registry lock poisoned")
+    REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// The counter registered under `name` (registered on first use).

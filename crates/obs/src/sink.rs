@@ -51,12 +51,12 @@ pub(crate) fn install(path: &Path) -> std::io::Result<()> {
     let file = File::create(path)?;
     let mut writer = BufWriter::new(file);
     writeln!(writer, "{}", json!({ "type": "start", "version": 1 }))?;
-    *SINK.lock().expect("trace sink lock poisoned") = Some(Sink { writer, epoch: Instant::now() });
+    *SINK.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Sink { writer, epoch: Instant::now() });
     Ok(())
 }
 
 fn with_sink(f: impl FnOnce(&mut Sink)) {
-    if let Some(sink) = SINK.lock().expect("trace sink lock poisoned").as_mut() {
+    if let Some(sink) = SINK.lock().unwrap_or_else(std::sync::PoisonError::into_inner).as_mut() {
         f(sink);
     }
 }
@@ -108,7 +108,7 @@ pub fn flush() {
 
 /// Writes the trailing metrics record, flushes and closes the sink.
 pub(crate) fn close() {
-    let mut guard = SINK.lock().expect("trace sink lock poisoned");
+    let mut guard = SINK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(mut sink) = guard.take() {
         let record = json!({
             "type": "metrics",
@@ -121,5 +121,5 @@ pub(crate) fn close() {
 }
 
 pub(crate) fn is_installed() -> bool {
-    SINK.lock().expect("trace sink lock poisoned").is_some()
+    SINK.lock().unwrap_or_else(std::sync::PoisonError::into_inner).is_some()
 }

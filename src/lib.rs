@@ -25,6 +25,8 @@
 //!   content-addressed result caching.
 //! - [`obs`] — structured tracing and metrics (spans, counters, JSONL
 //!   trace sink; enabled with `--trace` in the examples).
+//! - [`lint`] — static analysis: workspace source/layering lints and
+//!   netlist structural lints (the `clapped_lint` CI gate).
 //! - [`core`] — the CLAppED framework façade wiring all stages together.
 //!
 //! # Quick start
@@ -44,6 +46,7 @@ pub use clapped_errmodel as errmodel;
 pub use clapped_exec as exec;
 pub use clapped_imgproc as imgproc;
 pub use clapped_la as la;
+pub use clapped_lint as lint;
 pub use clapped_mlp as mlp;
 pub use clapped_netlist as netlist;
 pub use clapped_obs as obs;
