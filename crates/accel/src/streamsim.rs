@@ -39,10 +39,12 @@ pub fn simulate_stream(
     weights: &[i8],
     shift: u32,
 ) -> Result<Image> {
+    let _span = clapped_obs::span("accel.streamsim.frame");
     spec.validate()?;
     assert_eq!(weights.len(), spec.taps(), "one weight per tap");
     assert_eq!(image.width(), spec.image_size, "image width mismatch");
     assert_eq!(image.height(), spec.image_size, "image height mismatch");
+    clapped_obs::count("accel.streamsim.frames", 1);
     let datapath = build_datapath(spec, shift)?;
     match spec.mode {
         ConvMode::TwoD => {
@@ -94,6 +96,7 @@ fn run_pe_grid(
     out_base: usize,
     tap_window: impl Fn(&Image, usize, usize, usize, usize, isize) -> u8,
 ) -> Image {
+    let _span = clapped_obs::span("accel.streamsim.pass");
     let half = (window / 2) as isize;
     let taps = weights.len();
     let is_2d = taps == window * window;
@@ -149,6 +152,7 @@ fn run_pe_grid(
         let outs = datapath
             .simulate_words(&words)
             .expect("datapath interface generated consistently");
+        clapped_obs::count("accel.streamsim.evals", 1);
         for (lane, &(ox, oy)) in chunk.iter().enumerate() {
             let mut v = 0u8;
             for bit in 0..8 {
@@ -159,6 +163,7 @@ fn run_pe_grid(
             out.set(ox, oy, v << 1);
         }
     }
+    clapped_obs::count("accel.streamsim.pixels", (ow * oh) as u64);
     out
 }
 

@@ -1,0 +1,50 @@
+//! Observability must never perturb the hardware simulation: a traced
+//! `simulate_stream` run is bit-identical to an untraced run —
+//! instrumentation only reads clocks and bumps atomics, it never
+//! touches the datapath evaluation.
+
+use clapped_accel::{simulate_stream, AcceleratorSpec};
+use clapped_axops::Catalog;
+use clapped_imgproc::{Image, QuantKernel, SynthKind};
+
+fn run() -> Image {
+    let cat = Catalog::standard();
+    let m = cat.get("mul8s_tr3").unwrap();
+    let kernel = QuantKernel::gaussian(3, 0.85);
+    let img = Image::synthetic(SynthKind::Blobs, 16, 16, 5).with_gaussian_noise(12.0, 9);
+    let spec = AcceleratorSpec::uniform_2d(16, 3, &m);
+    simulate_stream(&spec, &img, kernel.coeffs_2d(), kernel.shift()).unwrap()
+}
+
+#[test]
+fn traced_and_untraced_streams_are_bit_identical() {
+    let untraced = run();
+
+    let path = std::env::temp_dir()
+        .join(format!("clapped-accel-trace-test-{}.jsonl", std::process::id()));
+    clapped_obs::enable_jsonl(&path).unwrap();
+    let traced = run();
+    clapped_obs::reset();
+
+    assert_eq!(traced, untraced, "tracing must not change a single output pixel");
+
+    // The trace itself is well-formed JSONL with the stream spans and
+    // per-frame counters.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 3, "start + events + trailing metrics");
+    for line in &lines {
+        let v: serde_json::Value =
+            serde_json::from_str(line).expect("every trace line parses as JSON");
+        assert!(v.get("type").and_then(|t| t.as_str()).is_some());
+    }
+    assert!(
+        text.contains("\"accel.streamsim.frame\"") && text.contains("\"accel.streamsim.pass\""),
+        "stream spans must appear in the trace"
+    );
+    assert!(
+        text.contains("accel.streamsim.frames") && text.contains("accel.streamsim.evals"),
+        "per-frame counters must appear in the trailing metrics record"
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -337,6 +337,40 @@ impl Clapped {
         }
     }
 
+    /// Builds a runtime SLA supervisor over this framework's operator
+    /// catalog: the degradation ladder is calibrated from the catalog
+    /// against `sla` (reusing the framework's image size, seed and
+    /// characterization parameters), and the returned
+    /// [`clapped_runtime::StreamSupervisor`] keeps the SLA on a live
+    /// frame stream — adapting rungs, detecting faults, checkpointing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClappedError::Unavailable`] for non-Gaussian
+    /// applications (the supervisor serves the paper's denoise
+    /// pipeline), and propagates ladder/supervisor construction
+    /// failures as [`ClappedError::Runtime`].
+    pub fn sla_supervisor(
+        &self,
+        sla: clapped_runtime::SlaSpec,
+        options: clapped_runtime::StreamOptions,
+    ) -> Result<clapped_runtime::StreamSupervisor> {
+        if self.app_kind != AppKind::GaussianDenoise {
+            return Err(ClappedError::Unavailable {
+                reason: "the SLA supervisor serves AppKind::GaussianDenoise streams".to_string(),
+            });
+        }
+        let config = clapped_runtime::LadderConfig {
+            image_size: self.image_size,
+            seed: options.seed,
+            characterization: self.char_config.clone(),
+            traffic: options.traffic,
+            ..clapped_runtime::LadderConfig::default()
+        };
+        let ladder = clapped_runtime::DegradationLadder::build(self.catalog.muls(), &sla, &config)?;
+        Ok(clapped_runtime::StreamSupervisor::new(ladder, sla, options)?)
+    }
+
     /// Per-operator degree-`d` PR models (catalog order).
     pub fn pr_models(&self) -> &[PrModel] {
         &self.pr_models

@@ -57,6 +57,9 @@ pub enum ClappedError {
     /// A gate-level netlist operation (simulation, fault injection)
     /// failed.
     Netlist(clapped_netlist::NetlistError),
+    /// The runtime supervisor failed (ladder construction, stream
+    /// execution, or checkpoint restore).
+    Runtime(clapped_runtime::RuntimeError),
     /// A configuration referenced an operator outside the catalog.
     BadConfiguration {
         /// What is inconsistent.
@@ -78,6 +81,7 @@ impl fmt::Display for ClappedError {
             ClappedError::Mlp(e) => write!(f, "ML training: {e}"),
             ClappedError::Dse(e) => write!(f, "design-space exploration: {e}"),
             ClappedError::Netlist(e) => write!(f, "netlist operation: {e}"),
+            ClappedError::Runtime(e) => write!(f, "runtime supervision: {e}"),
             ClappedError::BadConfiguration { reason } => {
                 write!(f, "bad configuration: {reason}")
             }
@@ -121,6 +125,12 @@ impl From<clapped_dse::DseError> for ClappedError {
 impl From<clapped_netlist::NetlistError> for ClappedError {
     fn from(e: clapped_netlist::NetlistError) -> Self {
         ClappedError::Netlist(e)
+    }
+}
+
+impl From<clapped_runtime::RuntimeError> for ClappedError {
+    fn from(e: clapped_runtime::RuntimeError) -> Self {
+        ClappedError::Runtime(e)
     }
 }
 

@@ -30,7 +30,7 @@ pub mod dist;
 mod metrics;
 mod poly;
 
-pub use metrics::{error_samples, ErrorStats};
+pub use metrics::{error_samples, metrics_cache_stats, ErrorStats};
 pub use poly::{canonical_terms, rank_terms, PrModel, PrMul};
 
 use std::error::Error;

@@ -1,6 +1,34 @@
 //! Statistical error metrics over the exhaustive operator input space.
+//!
+//! Exhaustive characterization walks all 65 536 input pairs, and the
+//! same operators are re-characterized all over the workspace (the DSE
+//! features, the runtime ladder, the fault campaigns). Both entry
+//! points therefore memoize process-wide through [`clapped_exec::Memo`]
+//! keyed on the operator's behaviour digest — the same key the compiled
+//! convolution plans use — with a direct-compute fallthrough for
+//! operators that don't expose a digest.
 
 use clapped_axops::{exhaustive_pairs, Mul8s};
+use clapped_exec::Memo;
+use std::sync::OnceLock;
+
+/// Process-wide memo of exhaustive [`ErrorStats`] per behaviour digest.
+fn stats_memo() -> &'static Memo<u64, ErrorStats> {
+    static MEMO: OnceLock<Memo<u64, ErrorStats>> = OnceLock::new();
+    MEMO.get_or_init(Memo::default)
+}
+
+/// Process-wide memo of exhaustive signed-error sample vectors.
+fn samples_memo() -> &'static Memo<u64, Vec<f64>> {
+    static MEMO: OnceLock<Memo<u64, Vec<f64>>> = OnceLock::new();
+    MEMO.get_or_init(Memo::default)
+}
+
+/// Hit/miss statistics of the exhaustive characterization memos:
+/// `(metrics, sample vectors)`.
+pub fn metrics_cache_stats() -> (clapped_exec::MemoStats, clapped_exec::MemoStats) {
+    (stats_memo().stats(), samples_memo().stats())
+}
 
 /// Classic statistical error metrics of an approximate binary operator,
 /// computed over the full 8-bit signed input space.
@@ -100,11 +128,22 @@ impl ErrorStats {
     }
 
     /// Computes the metrics of a multiplier against the exact product.
+    ///
+    /// Memoized process-wide on the operator's behaviour digest, so
+    /// repeated characterizations of the same operator (DSE feature
+    /// encoding, runtime ladder calibration, fault campaigns) pay for
+    /// the exhaustive sweep once.
     pub fn of_multiplier(m: &dyn Mul8s) -> ErrorStats {
-        ErrorStats::from_fns(
-            |a, b| i32::from(m.mul(a, b)),
-            |a, b| i32::from(a) * i32::from(b),
-        )
+        let compute = || {
+            ErrorStats::from_fns(
+                |a, b| i32::from(m.mul(a, b)),
+                |a, b| i32::from(a) * i32::from(b),
+            )
+        };
+        match m.behaviour_digest() {
+            Some(digest) => stats_memo().get_or_insert_with(digest, compute),
+            None => compute(),
+        }
     }
 
     /// The four-metric vector the paper calls `M4` (max absolute error,
@@ -128,10 +167,19 @@ impl ErrorStats {
 /// Collects the signed error of every input pair (row-major over `a`,
 /// then `b`) — the raw material for distribution fitting and histogram
 /// plots (paper Figs. 3 and 4).
+///
+/// Memoized process-wide on the operator's behaviour digest (the
+/// returned vector is a clone of the cached sweep).
 pub fn error_samples(m: &dyn Mul8s) -> Vec<f64> {
-    exhaustive_pairs()
-        .map(|(a, b)| f64::from(i32::from(m.mul(a, b)) - i32::from(a) * i32::from(b)))
-        .collect()
+    let compute = || {
+        exhaustive_pairs()
+            .map(|(a, b)| f64::from(i32::from(m.mul(a, b)) - i32::from(a) * i32::from(b)))
+            .collect::<Vec<f64>>()
+    };
+    match m.behaviour_digest() {
+        Some(digest) => samples_memo().get_or_insert_with(digest, compute),
+        None => compute(),
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +219,51 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let s = ErrorStats::of_multiplier(&m);
         assert!((mean - s.mean_error).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_characterization_hits_the_memo() {
+        let m = AxMul::new("memo-probe", MulArch::Truncated { k: 3 });
+        assert!(m.behaviour_digest().is_some(), "AxMul exposes a digest");
+        let first = ErrorStats::of_multiplier(&m);
+        let (before, _) = metrics_cache_stats();
+        let second = ErrorStats::of_multiplier(&m);
+        let (after, _) = metrics_cache_stats();
+        assert_eq!(first, second);
+        assert!(after.hits > before.hits, "second characterization must hit the memo");
+
+        let s1 = error_samples(&m);
+        let (_, sam_before) = metrics_cache_stats();
+        let s2 = error_samples(&m);
+        let (_, sam_after) = metrics_cache_stats();
+        assert_eq!(s1, s2);
+        assert!(sam_after.hits > sam_before.hits);
+    }
+
+    #[test]
+    fn faulted_operator_is_cached_under_a_distinct_digest() {
+        use clapped_axops::FaultedMul;
+        use clapped_netlist::{FaultKind, FaultSet};
+
+        let base = AxMul::new("tr3", MulArch::Truncated { k: 3 });
+        let msb = base.netlist().outputs().last().expect("product MSB").1;
+        let faults = FaultSet::empty().stuck_at(msb, FaultKind::StuckAt1);
+        let faulted = FaultedMul::new(&base, &faults).expect("valid fault site");
+        assert_ne!(
+            base.behaviour_digest(),
+            faulted.behaviour_digest(),
+            "a faulted operator must never share the healthy digest"
+        );
+        let healthy = ErrorStats::of_multiplier(&base);
+        let broken = ErrorStats::of_multiplier(&faulted);
+        assert!(
+            broken.max_abs_error > healthy.max_abs_error,
+            "an MSB stuck-at-1 must blow up the error metrics"
+        );
+        // And the memo keeps them apart: re-reading both returns the
+        // same distinct values.
+        assert_eq!(ErrorStats::of_multiplier(&base), healthy);
+        assert_eq!(ErrorStats::of_multiplier(&faulted), broken);
     }
 
     #[test]

@@ -26,9 +26,10 @@ const LAYERS: &[(&str, u32)] = &[
     ("clapped-imgproc", 4),
     ("clapped-accel", 5),
     ("clapped-dse", 5),
-    ("clapped-core", 6),
+    ("clapped-runtime", 6),
+    ("clapped-core", 7),
     ("clapped-lint", 6),
-    ("clapped-bench", 7),
+    ("clapped-bench", 8),
 ];
 
 fn rank(name: &str) -> Option<u32> {

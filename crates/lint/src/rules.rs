@@ -12,7 +12,7 @@
 //! | `entropy-rng` | `thread_rng`, `from_entropy`, `OsRng`, … | everywhere, tests included |
 //! | `partial-cmp-sort` | `partial_cmp` inside a sort/ordering call | everywhere |
 //! | `no-unwrap` | `.unwrap()` | library code |
-//! | `no-expect` | `.expect(` | panic-free layers (exec, obs, checkpoint) |
+//! | `no-expect` | `.expect(` | panic-free layers (exec, obs, runtime, checkpoint) |
 //! | `no-print` | `println!` & friends | library code except `bench` |
 //! | `todo-markers` | `todo!`, `unimplemented!` | everywhere |
 //! | `cfg-test-mod` | `mod tests` without `#[cfg(test)]` | library code |
@@ -169,6 +169,7 @@ fn rules() -> Vec<Rule> {
             applies: |p| {
                 (p.starts_with("crates/exec/src/")
                     || p.starts_with("crates/obs/src/")
+                    || p.starts_with("crates/runtime/src/")
                     || p == "crates/dse/src/checkpoint.rs")
                     && is_src_lib(p)
             },
@@ -456,6 +457,7 @@ mod tests {
         let bad = "fn f() { LOCK.lock().expect(\"poisoned\"); }\n";
         assert_eq!(rules_of(&run("crates/exec/src/x.rs", bad)), ["no-expect"]);
         assert_eq!(rules_of(&run("crates/dse/src/checkpoint.rs", bad)), ["no-expect"]);
+        assert_eq!(rules_of(&run("crates/runtime/src/supervisor.rs", bad)), ["no-expect"]);
         assert!(run("crates/netlist/src/x.rs", bad).is_empty());
     }
 

@@ -1,0 +1,113 @@
+//! Runtime-adaptive approximation under a quality SLA: a supervised
+//! frame stream that degrades to cheap operators when quality headroom
+//! allows, buys accuracy back under burst pressure, and self-heals from
+//! a mid-stream hardware fault — then survives a kill/resume through a
+//! versioned checkpoint.
+//!
+//! Run with: `cargo run --release --example sla_stream [-- --trace[=path]]`
+
+use clapped::core::Clapped;
+use clapped::netlist::{FaultKind, FaultSet};
+use clapped::runtime::{
+    FaultPlan, SlaSpec, StreamEvent, StreamOptions, StreamSupervisor,
+};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    clapped::obs::init_trace_from_args();
+
+    // The application: Gaussian denoising on 16x16 frames, with the
+    // full standard operator catalog as ladder candidates. A 26% error
+    // ceiling sits inside the cheapest rung's calm-to-burst spread at
+    // this size: dim calm frames clear it, bright bursts overrun it.
+    let fw = Clapped::builder().image_size(16).build()?;
+    let sla = SlaSpec { max_error_percent: 26.0, max_frame_time_us: 1e9 };
+    let base = StreamOptions {
+        seed: 0xC1A9,
+        headroom_fraction: 0.1,
+        hold_frames: 3,
+        base_backoff_frames: 2,
+        max_backoff_frames: 12,
+        audit: true,
+        ..StreamOptions::default()
+    };
+    let frames = 40;
+    let fault_frame = 24;
+
+    // Dry-run to the injection point so the fault can target the rung
+    // the controller actually occupies there (the watchdog spot-checks
+    // only deployed operators).
+    let mut dry = fw.sla_supervisor(sla, base.clone())?;
+    let ladder = dry.ladder().clone();
+    println!("ladder ({} rungs, ceiling {:.1}% error):", ladder.len(), sla.max_error_percent);
+    for (i, r) in ladder.rungs().iter().enumerate() {
+        println!(
+            "  rung {i}: {:<18} calm {:>6.2}%  burst {:>6.2}%  {:.3} uJ/frame",
+            r.name, r.calm_error_percent, r.burst_error_percent, r.energy_per_image_uj
+        );
+    }
+    dry.run(fault_frame)?;
+    let fault_rung = dry.rung();
+    let msb = ladder.rungs()[fault_rung]
+        .op
+        .netlist()
+        .outputs()
+        .last()
+        .expect("product MSB")
+        .1;
+    let options = StreamOptions {
+        fault: Some(FaultPlan {
+            frame: fault_frame,
+            tap: ladder.conv_config().taps() / 2,
+            faults: FaultSet::empty().stuck_at(msb, FaultKind::StuckAt1),
+        }),
+        ..base
+    };
+
+    // Supervised stream with a kill/resume in the middle: checkpoint
+    // after the fault lands, drop the supervisor, restore from JSON.
+    let mut sup = StreamSupervisor::new(ladder.clone(), sla, options.clone())?;
+    sup.run(fault_frame + 4)?;
+    let snapshot = sup.checkpoint();
+    drop(sup);
+    println!("\ncheckpointed at frame {} ({} bytes of JSON); resuming…", fault_frame + 4, snapshot.len());
+    let mut sup = StreamSupervisor::resume(ladder, sla, options, &snapshot)?;
+    let report = sup.run(frames)?;
+
+    println!("\nreconfiguration log:");
+    for event in &report.events {
+        match event {
+            StreamEvent::Swap { frame, from_rung, to_rung, reason } => {
+                println!("  frame {frame:>3}: swap rung {from_rung} -> {to_rung} ({})", reason.name());
+            }
+            StreamEvent::FaultDetected { frame, tap, rung, latency_frames } => {
+                println!("  frame {frame:>3}: fault detected on rung {rung} tap {tap} ({latency_frames}-frame latency)");
+            }
+            StreamEvent::Quarantine { frame, rung } => {
+                println!("  frame {frame:>3}: rung {rung} quarantined");
+            }
+            StreamEvent::HwDivergence { frame, rung } => {
+                println!("  frame {frame:>3}: hardware model divergence on rung {rung}");
+            }
+        }
+    }
+    let latency = report
+        .detection_latency_frames
+        .expect("the watchdog catches an MSB stuck-at fault");
+    println!(
+        "\n{} frames: {} swaps, {} estimated / {} audited SLA violations, \
+         fault detected in {} frame(s), {:.2} uJ total, output digest {:016x}",
+        report.frames,
+        report.swaps,
+        report.violations,
+        report.true_violations,
+        latency,
+        report.energy_uj,
+        report.output_digest
+    );
+
+    if let Some(report) = clapped::obs::finish() {
+        println!("\n{report}");
+    }
+    Ok(())
+}

@@ -21,6 +21,8 @@
 //! - [`imgproc`] — images, synthetic data, DoF-aware convolution engine.
 //! - [`accel`] — accelerator architectures and performance estimation.
 //! - [`dse`] — Pareto tools, hypervolume, MBO and baseline searches.
+//! - [`runtime`] — SLA-keeping stream supervisor: degradation ladder,
+//!   online quality monitor, fault watchdog, checkpointable controller.
 //! - [`exec`] — deterministic parallel evaluation engine with
 //!   content-addressed result caching.
 //! - [`obs`] — structured tracing and metrics (spans, counters, JSONL
@@ -50,3 +52,4 @@ pub use clapped_lint as lint;
 pub use clapped_mlp as mlp;
 pub use clapped_netlist as netlist;
 pub use clapped_obs as obs;
+pub use clapped_runtime as runtime;
