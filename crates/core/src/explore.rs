@@ -173,9 +173,6 @@ pub fn explore(fw: &Clapped, opts: &ExploreOptions) -> Result<ExploreResult> {
     let pure_true =
         opts.error_mode == EstimationMode::True && opts.hw_mode == EstimationMode::True;
     let objective = |c: &Configuration| -> Vec<f64> {
-        if pure_true {
-            return fw.true_objectives_cached(c);
-        }
         let err = match (&opts.error_mode, &err_model) {
             (EstimationMode::Ml, Some(m)) => m.predict(&fw.encode(c, opts.repr)),
             _ => fw
@@ -219,6 +216,11 @@ pub fn explore(fw: &Clapped, opts: &ExploreOptions) -> Result<ExploreResult> {
     let mut state = MboState::new(&opts.mbo).map_err(ClappedError::Dse)?;
     let mut sample = move |rng: &mut rand_chacha::ChaCha8Rng| space.sample(rng);
     let mut evaluate_batch = |cs: &[Configuration]| -> Vec<BatchOutcome> {
+        if pure_true {
+            // Shared with `crate::Session`: content-addressed true
+            // objectives, replayable from a warm cache.
+            return fw.true_outcomes_cached(cs);
+        }
         fw.engine()
             .evaluate_many(cs, |_, c| BatchOutcome::Value {
                 objectives: objective(c),

@@ -3,7 +3,7 @@
 use crate::{ClappedError, MulRepr, Result};
 use clapped_accel::{characterize, AccelReport, AcceleratorSpec, CharacterizeConfig, OpLibrary};
 use clapped_axops::{Catalog, Mul8s};
-use clapped_dse::{Configuration, DesignSpace};
+use clapped_dse::{BatchOutcome, Configuration, DesignSpace};
 use clapped_errmodel::{rank_terms, ErrorStats, PrModel};
 use clapped_exec::{CacheStats, Engine, ExecConfig, ResultCache, StructDigest, CODE_VERSION_SALT};
 use clapped_imgproc::{AppResult, ConvMode, GaussianDenoise, SobelEdge};
@@ -70,23 +70,133 @@ impl AppModel {
 ///     .unwrap();
 /// assert_eq!(fw.catalog().len(), fw.space().catalog_size);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ClappedBuilder {
-    image_size: usize,
-    noise_sigma: f64,
-    pr_degree: usize,
-    seed: u64,
-    catalog: Option<Catalog>,
-    char_config: CharacterizeConfig,
-    app_kind: AppKind,
-    exec: ExecConfig,
-    cache_capacity: usize,
-    cache_dir: Option<PathBuf>,
+    config: ClappedConfig,
 }
 
-impl Default for ClappedBuilder {
+impl ClappedBuilder {
+    /// Side length of the synthetic workload images.
+    pub fn image_size(mut self, n: usize) -> Self {
+        self.config.image_size = n;
+        self
+    }
+
+    /// Standard deviation of the injected Gaussian noise.
+    pub fn noise_sigma(mut self, sigma: f64) -> Self {
+        self.config.noise_sigma = sigma;
+        self
+    }
+
+    /// Degree of the operator PR models (the paper uses 3).
+    pub fn pr_degree(mut self, degree: usize) -> Self {
+        self.config.pr_degree = degree;
+        self
+    }
+
+    /// Master RNG seed (workload generation, dataset sampling).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Replaces the standard operator catalog. Operator 0 must be the
+    /// exact multiplier.
+    pub fn catalog(mut self, catalog: Catalog) -> Self {
+        self.config.catalog = Some(catalog);
+        self
+    }
+
+    /// Accelerator characterization parameters.
+    pub fn characterization(mut self, config: CharacterizeConfig) -> Self {
+        self.config.char_config = config;
+        self
+    }
+
+    /// Selects the behavioural application (default: Gaussian smoothing).
+    pub fn application(mut self, kind: AppKind) -> Self {
+        self.config.app_kind = kind;
+        self
+    }
+
+    /// Configures the parallel evaluation engine (default: one worker
+    /// per available core). Thread count never changes results — only
+    /// wall-clock time.
+    pub fn exec(mut self, config: ExecConfig) -> Self {
+        self.config.exec = config;
+        self
+    }
+
+    /// Capacity of the in-memory result cache (default 4096 entries).
+    /// Zero disables caching.
+    pub fn cache_capacity(mut self, entries: usize) -> Self {
+        self.config.cache_capacity = entries;
+        self
+    }
+
+    /// Enables the on-disk result-cache tier under `dir` (typically
+    /// `results/cache/`), so warm reruns of the same framework instance
+    /// skip recomputation across processes.
+    pub fn disk_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// The accumulated recipe, without instantiating it — useful for
+    /// digesting or persisting a framework description.
+    pub fn into_config(self) -> ClappedConfig {
+        self.config
+    }
+
+    /// Builds the framework: instantiates the catalog, the workload, and
+    /// the per-operator PR models and error statistics. (The hardware
+    /// operator library is characterized lazily on first use.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClappedError::Unavailable`] if the catalog is empty or
+    /// its first operator is not exact.
+    pub fn build(self) -> Result<Clapped> {
+        self.config.instantiate()
+    }
+}
+
+/// The immutable recipe for a framework instance — every knob
+/// [`ClappedBuilder`] accepts, as plain data.
+///
+/// Splitting the recipe from the instantiated [`Clapped`] lets a server
+/// process key a pool of shared framework instances by
+/// [`ClappedConfig::digest`]: jobs carrying the same recipe share one
+/// `Arc<Clapped>` (and therefore one in-memory cache, one engine and one
+/// lazily characterized operator library), while [`crate::Session`]
+/// holds the cheap per-job exploration state.
+#[derive(Debug, Clone)]
+pub struct ClappedConfig {
+    /// Side length of the synthetic workload images.
+    pub image_size: usize,
+    /// Standard deviation of the injected Gaussian noise.
+    pub noise_sigma: f64,
+    /// Degree of the operator PR models.
+    pub pr_degree: usize,
+    /// Master RNG seed (workload generation, dataset sampling).
+    pub seed: u64,
+    /// Replacement operator catalog (`None` = the standard catalog).
+    pub catalog: Option<Catalog>,
+    /// Accelerator characterization parameters.
+    pub char_config: CharacterizeConfig,
+    /// The behavioural application.
+    pub app_kind: AppKind,
+    /// Parallel evaluation engine knobs (never affects results).
+    pub exec: ExecConfig,
+    /// In-memory result-cache capacity (zero disables caching).
+    pub cache_capacity: usize,
+    /// On-disk result-cache tier directory (`None` disables the tier).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ClappedConfig {
     fn default() -> Self {
-        ClappedBuilder {
+        ClappedConfig {
             image_size: 32,
             noise_sigma: 12.0,
             pr_degree: 3,
@@ -101,83 +211,51 @@ impl Default for ClappedBuilder {
     }
 }
 
-impl ClappedBuilder {
-    /// Side length of the synthetic workload images.
-    pub fn image_size(mut self, n: usize) -> Self {
-        self.image_size = n;
-        self
+impl ClappedConfig {
+    /// Stable content digest of the recipe — two configs with equal
+    /// digests produce frameworks whose cached evaluation results are
+    /// interchangeable. Execution knobs (`exec`, cache capacity and
+    /// directory) are deliberately excluded: they change wall-clock
+    /// behaviour, never results.
+    pub fn digest(&self) -> u64 {
+        let catalog_names: Vec<String> = match &self.catalog {
+            Some(catalog) => catalog
+                .iter()
+                .map(|m| Mul8s::name(m.as_ref()).to_string())
+                .collect(),
+            None => Catalog::standard()
+                .iter()
+                .map(|m| Mul8s::name(m.as_ref()).to_string())
+                .collect(),
+        };
+        self.instance_salt(&catalog_names)
     }
 
-    /// Standard deviation of the injected Gaussian noise.
-    pub fn noise_sigma(mut self, sigma: f64) -> Self {
-        self.noise_sigma = sigma;
-        self
+    /// The cache-partition salt: everything that changes what a
+    /// configuration *means* for this instance, so results cached by
+    /// one recipe can never answer for a differently-built one.
+    fn instance_salt(&self, catalog_names: &[String]) -> u64 {
+        StructDigest::new("ClappedInstance")
+            .field("image_size", &(self.image_size as u64))
+            .field("noise_sigma", &self.noise_sigma)
+            .field("pr_degree", &(self.pr_degree as u64))
+            .field("seed", &self.seed)
+            .field("app_kind", &(self.app_kind as u64))
+            .field("catalog", &catalog_names.to_vec())
+            .field("characterization", &format!("{:?}", self.char_config))
+            .finish()
     }
 
-    /// Degree of the operator PR models (the paper uses 3).
-    pub fn pr_degree(mut self, degree: usize) -> Self {
-        self.pr_degree = degree;
-        self
-    }
-
-    /// Master RNG seed (workload generation, dataset sampling).
-    pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Replaces the standard operator catalog. Operator 0 must be the
-    /// exact multiplier.
-    pub fn catalog(mut self, catalog: Catalog) -> Self {
-        self.catalog = Some(catalog);
-        self
-    }
-
-    /// Accelerator characterization parameters.
-    pub fn characterization(mut self, config: CharacterizeConfig) -> Self {
-        self.char_config = config;
-        self
-    }
-
-    /// Selects the behavioural application (default: Gaussian smoothing).
-    pub fn application(mut self, kind: AppKind) -> Self {
-        self.app_kind = kind;
-        self
-    }
-
-    /// Configures the parallel evaluation engine (default: one worker
-    /// per available core). Thread count never changes results — only
-    /// wall-clock time.
-    pub fn exec(mut self, config: ExecConfig) -> Self {
-        self.exec = config;
-        self
-    }
-
-    /// Capacity of the in-memory result cache (default 4096 entries).
-    /// Zero disables caching.
-    pub fn cache_capacity(mut self, entries: usize) -> Self {
-        self.cache_capacity = entries;
-        self
-    }
-
-    /// Enables the on-disk result-cache tier under `dir` (typically
-    /// `results/cache/`), so warm reruns of the same framework instance
-    /// skip recomputation across processes.
-    pub fn disk_cache(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.cache_dir = Some(dir.into());
-        self
-    }
-
-    /// Builds the framework: instantiates the catalog, the workload, and
-    /// the per-operator PR models and error statistics. (The hardware
+    /// Instantiates the framework: the catalog, the workload, and the
+    /// per-operator PR models and error statistics. (The hardware
     /// operator library is characterized lazily on first use.)
     ///
     /// # Errors
     ///
     /// Returns [`ClappedError::Unavailable`] if the catalog is empty or
     /// its first operator is not exact.
-    pub fn build(self) -> Result<Clapped> {
-        let catalog = self.catalog.unwrap_or_else(Catalog::standard);
+    pub fn instantiate(&self) -> Result<Clapped> {
+        let catalog = self.catalog.clone().unwrap_or_else(Catalog::standard);
         if catalog.is_empty() {
             return Err(ClappedError::Unavailable {
                 reason: "operator catalog is empty".to_string(),
@@ -224,24 +302,14 @@ impl ClappedBuilder {
             // Gradient magnitudes are not separable: restrict the mode DoF.
             space.modes = vec![ConvMode::TwoD];
         }
-        // Everything that changes what a configuration *means* for this
-        // instance goes into the cache salt, so results cached by one
-        // instance can never answer for a differently-built one. The
-        // code-version salt additionally invalidates persisted entries
-        // whenever the evaluation semantics change.
+        // The code-version salt invalidates persisted entries whenever
+        // evaluation semantics change; the instance salt partitions
+        // per-recipe (see `ClappedConfig::instance_salt`).
         let catalog_names: Vec<String> = catalog
             .iter()
             .map(|m| Mul8s::name(m.as_ref()).to_string())
             .collect();
-        let instance_salt = StructDigest::new("ClappedInstance")
-            .field("image_size", &(self.image_size as u64))
-            .field("noise_sigma", &self.noise_sigma)
-            .field("pr_degree", &(self.pr_degree as u64))
-            .field("seed", &self.seed)
-            .field("app_kind", &(self.app_kind as u64))
-            .field("catalog", &catalog_names)
-            .field("characterization", &format!("{:?}", self.char_config))
-            .finish();
+        let instance_salt = self.instance_salt(&catalog_names);
         let eval_cache = match &self.cache_dir {
             Some(dir) => ResultCache::with_disk(self.cache_capacity, dir),
             None => ResultCache::in_memory(self.cache_capacity),
@@ -251,7 +319,6 @@ impl ClappedBuilder {
         Ok(Clapped {
             engine: Engine::new(self.exec),
             eval_cache,
-            app_kind: self.app_kind,
             catalog,
             app,
             space,
@@ -259,10 +326,8 @@ impl ClappedBuilder {
             ranking,
             stats,
             index_values,
-            char_config: self.char_config,
-            image_size: self.image_size,
-            seed: self.seed,
             op_library: OnceLock::new(),
+            config: self.clone(),
         })
     }
 }
@@ -273,7 +338,6 @@ impl ClappedBuilder {
 pub struct Clapped {
     engine: Engine,
     eval_cache: ResultCache<Vec<f64>>,
-    app_kind: AppKind,
     catalog: Catalog,
     app: AppModel,
     space: DesignSpace,
@@ -281,16 +345,19 @@ pub struct Clapped {
     ranking: Vec<usize>,
     stats: Vec<ErrorStats>,
     index_values: Vec<f64>,
-    char_config: CharacterizeConfig,
-    image_size: usize,
-    seed: u64,
     op_library: OnceLock<std::result::Result<OpLibrary, String>>,
+    config: ClappedConfig,
 }
 
 impl Clapped {
     /// Starts building a framework instance.
     pub fn builder() -> ClappedBuilder {
         ClappedBuilder::default()
+    }
+
+    /// The recipe this instance was built from.
+    pub fn config(&self) -> &ClappedConfig {
+        &self.config
     }
 
     /// The operator catalog.
@@ -305,7 +372,7 @@ impl Clapped {
 
     /// The selected application kind.
     pub fn app_kind(&self) -> AppKind {
-        self.app_kind
+        self.config.app_kind
     }
 
     /// The Gaussian-smoothing workload.
@@ -355,15 +422,15 @@ impl Clapped {
         sla: clapped_runtime::SlaSpec,
         options: clapped_runtime::StreamOptions,
     ) -> Result<clapped_runtime::StreamSupervisor> {
-        if self.app_kind != AppKind::GaussianDenoise {
+        if self.config.app_kind != AppKind::GaussianDenoise {
             return Err(ClappedError::Unavailable {
                 reason: "the SLA supervisor serves AppKind::GaussianDenoise streams".to_string(),
             });
         }
         let config = clapped_runtime::LadderConfig {
-            image_size: self.image_size,
+            image_size: self.config.image_size,
             seed: options.seed,
-            characterization: self.char_config.clone(),
+            characterization: self.config.char_config.clone(),
             traffic: options.traffic,
             ..clapped_runtime::LadderConfig::default()
         };
@@ -388,17 +455,17 @@ impl Clapped {
 
     /// Accelerator characterization parameters.
     pub fn characterization(&self) -> &CharacterizeConfig {
-        &self.char_config
+        &self.config.char_config
     }
 
     /// Workload image side length.
     pub fn image_size(&self) -> usize {
-        self.image_size
+        self.config.image_size
     }
 
     /// Master seed.
     pub fn seed(&self) -> u64 {
-        self.seed
+        self.config.seed
     }
 
     /// The parallel evaluation engine. Batched entry points
@@ -451,7 +518,7 @@ impl Clapped {
     /// Returns [`ClappedError::Accel`] if an operator fails synthesis.
     pub fn op_library(&self) -> Result<&OpLibrary> {
         let entry = self.op_library.get_or_init(|| {
-            OpLibrary::characterize(&self.catalog, &self.char_config.synth)
+            OpLibrary::characterize(&self.catalog, &self.config.char_config.synth)
                 .map_err(|e| e.to_string())
         });
         entry.as_ref().map_err(|msg| {
@@ -580,11 +647,24 @@ impl Clapped {
         objectives
     }
 
+    /// Batched, cached true objective outcomes in the shape
+    /// [`clapped_dse::MboState::step_batched`] consumes: the
+    /// configurations fan out over the evaluation engine and each
+    /// returns its [`Clapped::true_objectives_cached`] vector paired
+    /// with its [`Clapped::config_digest`]. Outcomes come back in input
+    /// order, so results are bit-identical at any thread count.
+    pub fn true_outcomes_cached(&self, configs: &[Configuration]) -> Vec<BatchOutcome> {
+        self.engine.evaluate_many(configs, |_, c| BatchOutcome::Value {
+            objectives: self.true_objectives_cached(c),
+            digest: self.config_digest(c),
+        })
+    }
+
     /// The accelerator design point implied by a configuration: the
     /// effective streamed image shrinks with DATA scaling.
     pub fn accel_spec(&self, config: &Configuration) -> AcceleratorSpec {
         AcceleratorSpec {
-            image_size: (self.image_size / config.scale).max(config.window),
+            image_size: (self.config.image_size / config.scale).max(config.window),
             window: config.window,
             stride: config.stride,
             downsample: config.downsample,
@@ -604,7 +684,7 @@ impl Clapped {
     ///
     /// Propagates synthesis failures.
     pub fn characterize_hw(&self, config: &Configuration) -> Result<AccelReport> {
-        Ok(characterize(&self.accel_spec(config), &self.char_config)?)
+        Ok(characterize(&self.accel_spec(config), &self.config.char_config)?)
     }
 
     /// Encodes a configuration into a behavioral-model feature vector:
@@ -764,6 +844,24 @@ mod tests {
             .build()
             .unwrap();
         let _ = fw.app();
+    }
+
+    #[test]
+    fn recipe_digests_key_framework_pools() {
+        let a = Clapped::builder().image_size(16).into_config();
+        let b = Clapped::builder().image_size(16).into_config();
+        assert_eq!(a.digest(), b.digest(), "equal recipes share a pool slot");
+        let c = Clapped::builder().image_size(16).seed(9).into_config();
+        assert_ne!(a.digest(), c.digest(), "seed partitions results");
+        // Execution knobs never partition: they cannot change results.
+        let mut d = a.clone();
+        d.exec = ExecConfig::with_jobs(8);
+        d.cache_capacity = 17;
+        assert_eq!(a.digest(), d.digest());
+        // The instantiated framework carries its recipe, digest intact.
+        let fw = a.instantiate().unwrap();
+        assert_eq!(fw.config().digest(), b.digest());
+        assert_eq!(fw.image_size(), 16);
     }
 
     #[test]

@@ -28,10 +28,12 @@ mod explore;
 mod framework;
 mod repr;
 mod resilience;
+mod session;
 
 pub use explore::{explore, DofSummary, EstimationMode, ExploreOptions, ExploreResult, ParetoPoint};
-pub use framework::{AppKind, Clapped, ClappedBuilder, ErrorDataset};
+pub use framework::{AppKind, Clapped, ClappedBuilder, ClappedConfig, ErrorDataset};
 pub use repr::MulRepr;
+pub use session::{Session, SessionProgress, SessionSpec};
 pub use resilience::{FaultCampaignConfig, FaultCampaignReport, FaultImpact};
 // Execution-engine knobs, re-exported so framework users can configure
 // parallelism and inspect caches without naming `clapped-exec` directly.

@@ -186,6 +186,33 @@ impl<C: Clone> MboState<C> {
         self.initial_done && self.iterations_done >= self.config.iterations
     }
 
+    /// Evaluations recorded so far (skipped/quarantined slots excluded).
+    pub fn evaluations_done(&self) -> usize {
+        self.evaluated.len()
+    }
+
+    /// Total evaluations an uninterrupted run will attempt:
+    /// `initial_samples + iterations × batch`. With `evaluations_done`
+    /// this gives a long-running job server its progress fraction.
+    pub fn planned_evaluations(&self) -> usize {
+        self.config.initial_samples + self.config.iterations * self.config.batch
+    }
+
+    /// Hypervolume of the evaluated set after the most recently
+    /// completed phase (`0.0` before the initial phase finishes).
+    pub fn current_hypervolume(&self) -> f64 {
+        self.hv_trace.last().map(|&(_, h)| h).unwrap_or(0.0)
+    }
+
+    /// Indices (into [`MboState::evaluated`]) of the currently
+    /// Pareto-optimal points — the non-consuming mid-run counterpart of
+    /// [`SearchResult::pareto_indices`], so a serving layer can report
+    /// or checkpoint a partial front without ending the run.
+    pub fn pareto_indices(&self) -> Vec<usize> {
+        let objs: Vec<&[f64]> = self.evaluated.iter().map(|(_, o)| o.as_slice()).collect();
+        pareto_front(&objs)
+    }
+
     /// Consumes the state into a [`SearchResult`].
     pub fn into_result(self) -> SearchResult<C> {
         SearchResult {
@@ -659,6 +686,42 @@ mod tests {
             state.step_batched(&mut sample, &encode, &mut short),
             Err(DseError::BadObjectives { .. })
         ));
+    }
+
+    #[test]
+    fn progress_accessors_track_the_run_mid_flight() {
+        let config = MboConfig {
+            initial_samples: 6,
+            iterations: 2,
+            batch: 3,
+            candidates: 10,
+            reference: vec![1.5, 1.5],
+            kappa: 1.0,
+            explore_fraction: 0.1,
+            seed: 5,
+        };
+        let mut state = MboState::new(&config).unwrap();
+        assert_eq!(state.planned_evaluations(), 6 + 2 * 3);
+        assert_eq!(state.evaluations_done(), 0);
+        assert_eq!(state.current_hypervolume(), 0.0);
+        assert!(state.pareto_indices().is_empty());
+        let mut sample = toy_sample;
+        let encode = |c: &Vec<f64>| c.clone();
+        let mut evaluate = |c: &Vec<f64>| Ok(toy_objective(c));
+        state.step(&mut sample, &encode, &mut evaluate).unwrap();
+        assert_eq!(state.evaluations_done(), 6);
+        assert!(state.current_hypervolume() > 0.0);
+        let mid_front = state.pareto_indices();
+        assert!(!mid_front.is_empty());
+        while !state.is_complete() {
+            state.step(&mut sample, &encode, &mut evaluate).unwrap();
+        }
+        assert_eq!(state.evaluations_done(), state.planned_evaluations());
+        let final_hv = state.current_hypervolume();
+        let final_front = state.pareto_indices();
+        let result = state.into_result();
+        assert_eq!(result.final_hypervolume().to_bits(), final_hv.to_bits());
+        assert_eq!(result.pareto_indices(), final_front);
     }
 
     #[test]

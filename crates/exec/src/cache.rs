@@ -8,14 +8,38 @@
 //! instance-level context (image size, noise seed, …) into the salt so
 //! an entry can never be replayed into a build or context it doesn't
 //! belong to.
+//!
+//! # Cross-process coordination
+//!
+//! The disk tier doubles as a coordination substrate between processes
+//! sharing one cache directory (the `clapped-serve` daemon runs N
+//! server processes against a single store). Two guarantees make that
+//! safe:
+//!
+//! 1. **No torn reads.** Every entry is written to a hidden temp file
+//!    and published with an atomic `rename`, so a reader either sees a
+//!    complete JSON document or no file at all — never a partial write.
+//! 2. **Advisory write locks.** A writer first claims
+//!    `{key:016x}.lock` with `create_new` (`O_EXCL`). Losing the race
+//!    means another process is publishing the *same content-addressed
+//!    value*; the loser skips its redundant write and counts
+//!    [`CacheStats::lock_contention`]. Locks left behind by a killed
+//!    writer expire after a TTL and are broken by the next writer.
 
 use serde_json::Value;
 use std::collections::{BTreeMap, HashMap};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 use crate::digest::mix64;
+
+/// How long an advisory lock file may exist before any writer may break
+/// it — generous against slow NFS-style renames, small against a
+/// permanently wedged entry after a `kill -9` mid-write.
+const DEFAULT_LOCK_TTL: Duration = Duration::from_secs(30);
 
 /// Conversion between a cached value and its on-disk JSON form.
 ///
@@ -77,6 +101,10 @@ pub struct CacheStats {
     /// Disk files that existed but failed to parse or decode (each is
     /// treated as a miss; the file is left for inspection).
     pub disk_corrupt: u64,
+    /// Disk writes skipped because another process held the advisory
+    /// lock for the same entry (the value is content-addressed, so the
+    /// winner publishes an identical result).
+    pub lock_contention: u64,
     /// Entries currently resident in memory.
     pub entries: usize,
 }
@@ -161,12 +189,14 @@ pub struct ResultCache<V> {
     lru: Mutex<Lru<V>>,
     disk_dir: Option<PathBuf>,
     salt: u64,
+    lock_ttl: Duration,
     hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
     disk_corrupt: AtomicU64,
+    lock_contention: AtomicU64,
 }
 
 impl<V: Clone + CacheCodec> ResultCache<V> {
@@ -176,12 +206,14 @@ impl<V: Clone + CacheCodec> ResultCache<V> {
             lru: Mutex::new(Lru::new(capacity)),
             disk_dir: None,
             salt: 0,
+            lock_ttl: DEFAULT_LOCK_TTL,
             hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             disk_corrupt: AtomicU64::new(0),
+            lock_contention: AtomicU64::new(0),
         }
     }
 
@@ -199,6 +231,16 @@ impl<V: Clone + CacheCodec> ResultCache<V> {
     #[must_use]
     pub fn salted(mut self, salt: u64) -> ResultCache<V> {
         self.salt = self.salt.wrapping_add(mix64(salt));
+        self
+    }
+
+    /// Replaces the advisory-lock expiry (default 30 s). A lock older
+    /// than this is treated as the residue of a killed writer and
+    /// broken; `Duration::ZERO` makes every pre-existing lock breakable
+    /// (useful in tests).
+    #[must_use]
+    pub fn with_lock_ttl(mut self, ttl: Duration) -> ResultCache<V> {
+        self.lock_ttl = ttl;
         self
     }
 
@@ -235,6 +277,51 @@ impl<V: Clone + CacheCodec> ResultCache<V> {
         decoded
     }
 
+    fn lock_path(&self, mixed: u64) -> Option<PathBuf> {
+        self.disk_dir.as_ref().map(|d| d.join(format!("{mixed:016x}.lock")))
+    }
+
+    /// Claims the advisory write lock with `create_new` (`O_EXCL`).
+    /// Returns `false` when another live writer holds it; a lock file
+    /// older than [`ResultCache::with_lock_ttl`] is the residue of a
+    /// killed writer and is broken and re-claimed.
+    fn claim_lock(&self, lock: &Path) -> bool {
+        let try_claim = || {
+            std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(lock)
+                .map(|mut f| {
+                    // Writer identity, for post-mortem inspection only.
+                    let _ = write!(f, "{}", std::process::id());
+                })
+                .is_ok()
+        };
+        if try_claim() {
+            return true;
+        }
+        // The lock exists. Its age comes from filesystem metadata — an
+        // I/O-level liveness heuristic that only decides whether a
+        // redundant write proceeds, never what any result is (values
+        // are content-addressed, so every writer publishes the same
+        // bytes).
+        let expired = std::fs::metadata(lock)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age >= self.lock_ttl);
+        if expired {
+            let _ = std::fs::remove_file(lock);
+            return try_claim();
+        }
+        false
+    }
+
+    /// Publishes `value` to the disk tier: advisory lock, hidden temp
+    /// file, atomic rename. Concurrent processes writing the same entry
+    /// coordinate through the lock (losers skip — the value is
+    /// identical); readers racing a writer see either the complete old
+    /// JSON, the complete new JSON, or no file — never a torn write.
     fn disk_write(&self, mixed: u64, value: &V) {
         let (Some(dir), Some(path)) = (self.disk_dir.as_ref(), self.disk_path(mixed)) else {
             return;
@@ -245,9 +332,29 @@ impl<V: Clone + CacheCodec> ResultCache<V> {
         let Ok(text) = serde_json::to_string(&json) else {
             return;
         };
-        if std::fs::create_dir_all(dir).is_ok() {
-            let _ = std::fs::write(path, text);
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
         }
+        let Some(lock) = self.lock_path(mixed) else {
+            return;
+        };
+        if !self.claim_lock(&lock) {
+            self.lock_contention.fetch_add(1, Ordering::Relaxed);
+            clapped_obs::count("exec.cache.lock_contention", 1);
+            return;
+        }
+        let tmp = dir.join(format!(".{mixed:016x}.{}.tmp", std::process::id()));
+        match std::fs::write(&tmp, text) {
+            Ok(()) => {
+                if std::fs::rename(&tmp, &path).is_err() {
+                    let _ = std::fs::remove_file(&tmp);
+                }
+            }
+            Err(_) => {
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+        let _ = std::fs::remove_file(&lock);
     }
 
     /// Looks `key` up in memory, then disk. A disk hit is promoted into
@@ -309,6 +416,7 @@ impl<V: Clone + CacheCodec> ResultCache<V> {
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             disk_corrupt: self.disk_corrupt.load(Ordering::Relaxed),
+            lock_contention: self.lock_contention.load(Ordering::Relaxed),
             entries: self.lru().map.len(),
         }
     }
@@ -402,6 +510,101 @@ mod tests {
         std::fs::write(dir.join(format!("{mixed:016x}.json")), "not json at all").unwrap();
         assert_eq!(cache.get(9), None);
         assert_eq!(cache.stats().disk_corrupt, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_writes_leave_no_temp_or_lock_residue() {
+        let dir = std::env::temp_dir()
+            .join(format!("clapped-exec-test-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache: ResultCache<Vec<f64>> = ResultCache::with_disk(8, &dir);
+        for k in 0..6 {
+            cache.insert(k, vec![k as f64, 0.5]);
+        }
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names.len(), 6, "one published file per entry: {names:?}");
+        assert!(
+            names.iter().all(|n| n.ends_with(".json")),
+            "no .tmp/.lock residue after writes: {names:?}"
+        );
+        assert_eq!(cache.stats().lock_contention, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn held_lock_skips_the_write_and_counts_contention() {
+        let dir = std::env::temp_dir()
+            .join(format!("clapped-exec-test-lock-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache: ResultCache<Vec<f64>> = ResultCache::with_disk(8, &dir);
+        let mixed = cache.mixed(3);
+        // Another (live) writer holds the advisory lock.
+        std::fs::write(dir.join(format!("{mixed:016x}.lock")), "held").unwrap();
+        cache.insert(3, vec![9.0]);
+        assert_eq!(cache.stats().lock_contention, 1, "contended write is skipped");
+        // The entry was not published, but memory still serves it.
+        assert_eq!(cache.get(3), Some(vec![9.0]));
+        let fresh: ResultCache<Vec<f64>> = ResultCache::with_disk(8, &dir);
+        assert_eq!(fresh.get(3), None, "disk write was skipped under contention");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_locks_are_broken_after_the_ttl() {
+        let dir = std::env::temp_dir()
+            .join(format!("clapped-exec-test-stale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // TTL zero: any pre-existing lock counts as a killed writer.
+        let cache: ResultCache<Vec<f64>> =
+            ResultCache::with_disk(8, &dir).with_lock_ttl(Duration::ZERO);
+        let mixed = cache.mixed(4);
+        let lock = dir.join(format!("{mixed:016x}.lock"));
+        std::fs::write(&lock, "42").unwrap();
+        cache.insert(4, vec![7.0, 8.0]);
+        assert_eq!(cache.stats().lock_contention, 0, "stale lock is broken, not contended");
+        assert!(!lock.exists(), "broken lock is cleaned up after the write");
+        let fresh: ResultCache<Vec<f64>> = ResultCache::with_disk(8, &dir);
+        assert_eq!(fresh.get(4), Some(vec![7.0, 8.0]), "write proceeded past the stale lock");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_directory_never_tear_entries() {
+        let dir = std::env::temp_dir()
+            .join(format!("clapped-exec-test-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let value: Vec<f64> = (0..64).map(f64::from).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let dir = &dir;
+                let value = &value;
+                scope.spawn(move || {
+                    let cache: ResultCache<Vec<f64>> = ResultCache::with_disk(8, dir);
+                    for round in 0..20 {
+                        for key in 0..4 {
+                            cache.insert(key, value.clone());
+                            // A racing reader must see all-or-nothing.
+                            let reader: ResultCache<Vec<f64>> =
+                                ResultCache::with_disk(8, dir);
+                            if let Some(v) = reader.get(key) {
+                                assert_eq!(&v, value, "round {round}: torn read");
+                            }
+                            assert_eq!(
+                                reader.stats().disk_corrupt,
+                                0,
+                                "round {round}: reader decoded a partial file"
+                            );
+                        }
+                    }
+                });
+            }
+        });
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -29,7 +29,8 @@ const LAYERS: &[(&str, u32)] = &[
     ("clapped-runtime", 6),
     ("clapped-core", 7),
     ("clapped-lint", 6),
-    ("clapped-bench", 8),
+    ("clapped-serve", 8),
+    ("clapped-bench", 9),
 ];
 
 fn rank(name: &str) -> Option<u32> {
@@ -159,6 +160,16 @@ mod tests {
             "x",
         );
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn serve_sits_above_core_and_below_bench() {
+        let clean = check_crate("clapped-serve", &deps(&["clapped-core", "clapped-dse"]), "x");
+        assert!(clean.is_empty(), "{clean:?}");
+        let up = check_crate("clapped-core", &deps(&["clapped-serve"]), "x");
+        assert_eq!(up.len(), 1, "core must not reach up into the serving layer");
+        let bench = check_crate("clapped-bench", &deps(&["clapped-serve"]), "x");
+        assert!(bench.is_empty(), "the load generator drives the daemon: {bench:?}");
     }
 
     #[test]

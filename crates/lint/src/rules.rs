@@ -12,7 +12,7 @@
 //! | `entropy-rng` | `thread_rng`, `from_entropy`, `OsRng`, … | everywhere, tests included |
 //! | `partial-cmp-sort` | `partial_cmp` inside a sort/ordering call | everywhere |
 //! | `no-unwrap` | `.unwrap()` | library code |
-//! | `no-expect` | `.expect(` | panic-free layers (exec, obs, runtime, checkpoint) |
+//! | `no-expect` | `.expect(` | panic-free layers (exec, obs, runtime, serve, checkpoint) |
 //! | `no-print` | `println!` & friends | library code except `bench` |
 //! | `todo-markers` | `todo!`, `unimplemented!` | everywhere |
 //! | `cfg-test-mod` | `mod tests` without `#[cfg(test)]` | library code |
@@ -170,6 +170,7 @@ fn rules() -> Vec<Rule> {
                 (p.starts_with("crates/exec/src/")
                     || p.starts_with("crates/obs/src/")
                     || p.starts_with("crates/runtime/src/")
+                    || p.starts_with("crates/serve/src/")
                     || p == "crates/dse/src/checkpoint.rs")
                     && is_src_lib(p)
             },
@@ -458,6 +459,10 @@ mod tests {
         assert_eq!(rules_of(&run("crates/exec/src/x.rs", bad)), ["no-expect"]);
         assert_eq!(rules_of(&run("crates/dse/src/checkpoint.rs", bad)), ["no-expect"]);
         assert_eq!(rules_of(&run("crates/runtime/src/supervisor.rs", bad)), ["no-expect"]);
+        // The daemon must degrade, not abort: a panicking worker shard
+        // would strand its tenants' jobs.
+        assert_eq!(rules_of(&run("crates/serve/src/server.rs", bad)), ["no-expect"]);
+        assert!(run("crates/serve/src/bin/clapped_serve.rs", bad).is_empty());
         assert!(run("crates/netlist/src/x.rs", bad).is_empty());
     }
 

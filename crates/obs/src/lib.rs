@@ -41,7 +41,7 @@ pub mod sink;
 
 pub use clock::{Deadline, Stopwatch};
 pub use metrics::{count, gauge_set, observe, Counter, Gauge, Histogram, MetricValue};
-pub use sink::{emit_point, flush};
+pub use sink::{emit_event, emit_point, flush};
 
 use std::cell::Cell;
 use std::path::Path;
@@ -315,6 +315,39 @@ mod tests {
         assert!(point_rec.get("bad").map(|v| v.is_null()).unwrap_or(false));
         let metrics_rec = serde_json::from_str(lines[3]).unwrap();
         assert_eq!(metrics_rec.get("type").and_then(|v| v.as_str()), Some("metrics"));
+        let _ = std::fs::remove_file(&path);
+        reset();
+    }
+
+    #[test]
+    fn labelled_events_multiplex_job_streams() {
+        let _guard = locked();
+        reset();
+        let path = std::env::temp_dir()
+            .join(format!("clapped-obs-test-event-{}.jsonl", std::process::id()));
+        enable_jsonl(&path).unwrap();
+        emit_event(
+            "serve.job",
+            &[("job", "7"), ("tenant", "acme"), ("state", "running")],
+            &[("evals", 20.0), ("hv", 3.25)],
+        );
+        // Reserved keys must not clobber the record shape.
+        emit_event("serve.job", &[("type", "evil"), ("job", "8")], &[("t_ns", 0.0)]);
+        disable();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // start + two events + trailing metrics
+        assert_eq!(lines.len(), 4);
+        let rec: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(rec.get("type").and_then(|v| v.as_str()), Some("event"));
+        assert_eq!(rec.get("name").and_then(|v| v.as_str()), Some("serve.job"));
+        assert_eq!(rec.get("job").and_then(|v| v.as_str()), Some("7"));
+        assert_eq!(rec.get("tenant").and_then(|v| v.as_str()), Some("acme"));
+        assert_eq!(rec.get("evals").and_then(|v| v.as_f64()), Some(20.0));
+        let evil: serde_json::Value = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(evil.get("type").and_then(|v| v.as_str()), Some("event"));
+        assert_eq!(evil.get("job").and_then(|v| v.as_str()), Some("8"));
+        assert!(evil.get("t_ns").and_then(|v| v.as_u64()).is_some(), "t_ns stays numeric");
         let _ = std::fs::remove_file(&path);
         reset();
     }

@@ -13,8 +13,16 @@
 //! {"type":"start","version":1}
 //! {"type":"span","name":"exec.batch","t_ns":123,"dur_ns":456,"depth":0,"thread":0}
 //! {"type":"point","name":"dse.mbo.hv","t_ns":789,"evals":20.0,"hv":3.25}
+//! {"type":"event","name":"serve.job","t_ns":790,"job":"7","tenant":"acme","evals":20.0}
 //! {"type":"metrics","t_ns":999,"metrics":{...}}
 //! ```
+//!
+//! `event` records ([`emit_event`]) carry string labels alongside the
+//! numeric fields — the shape per-job streams use: every lifecycle
+//! transition and progress tick of a `clapped-serve` job is one event
+//! labelled with the job id and tenant, so a single trace file
+//! multiplexes hundreds of concurrent job streams and `grep`/`jq`
+//! demultiplexes them.
 
 use serde_json::{json, Number, Value};
 use std::fs::File;
@@ -94,6 +102,38 @@ pub fn emit_point(name: &str, fields: &[(&str, f64)]) {
         for &(key, v) in fields {
             let value = Number::from_f64(v).map(Value::Number).unwrap_or(Value::Null);
             map.insert(key.to_string(), value);
+        }
+        let _ = writeln!(sink.writer, "{}", Value::Object(map));
+    });
+}
+
+/// Emits one labelled event record: string labels (job ids, tenants,
+/// state names) plus numeric fields. Labels and fields land as flat
+/// top-level keys next to `type`/`name`/`t_ns`; a label or field named
+/// like one of those reserved keys is skipped rather than clobbering
+/// the record shape. Non-finite numeric values are written as `null`.
+/// No-op while observability is disabled or when no JSONL sink is
+/// installed.
+pub fn emit_event(name: &str, labels: &[(&str, &str)], fields: &[(&str, f64)]) {
+    if !crate::enabled() {
+        return;
+    }
+    with_sink(|sink| {
+        let mut map = serde_json::Map::new();
+        map.insert("type".to_string(), Value::String("event".to_string()));
+        map.insert("name".to_string(), Value::String(name.to_string()));
+        map.insert("t_ns".to_string(), Value::from(elapsed_ns(sink)));
+        let reserved = |key: &str| matches!(key, "type" | "name" | "t_ns");
+        for &(key, v) in labels {
+            if !reserved(key) {
+                map.insert(key.to_string(), Value::String(v.to_string()));
+            }
+        }
+        for &(key, v) in fields {
+            if !reserved(key) {
+                let value = Number::from_f64(v).map(Value::Number).unwrap_or(Value::Null);
+                map.insert(key.to_string(), value);
+            }
         }
         let _ = writeln!(sink.writer, "{}", Value::Object(map));
     });

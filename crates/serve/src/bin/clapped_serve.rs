@@ -1,0 +1,128 @@
+//! The `clapped-serve` daemon binary.
+//!
+//! Usage:
+//!
+//! ```text
+//! clapped_serve (--uds PATH | --tcp ADDR) [--state-dir DIR]
+//!               [--cache-dir DIR] [--workers N] [--exec-jobs N]
+//!               [--read-timeout-ms N] [--trace FILE]
+//! ```
+//!
+//! Binds the socket, recovers any persisted jobs, prints one
+//! `listening on …` line (the readiness signal scripts wait for), and
+//! serves until a `shutdown` op arrives. `--tcp 127.0.0.1:0` picks a
+//! free port and prints the resolved address. With `--trace`, per-job
+//! lifecycle events stream to the JSONL file in the `clapped-obs`
+//! format `trace_check` validates.
+
+use clapped_serve::{Listen, Server, ServerConfig};
+use std::path::PathBuf;
+use std::process::exit;
+
+struct Args {
+    listen: Listen,
+    state_dir: PathBuf,
+    cache_dir: Option<PathBuf>,
+    workers: usize,
+    exec_jobs: usize,
+    read_timeout_ms: u64,
+    trace: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: clapped_serve (--uds PATH | --tcp ADDR) [--state-dir DIR] \
+         [--cache-dir DIR] [--workers N] [--exec-jobs N] [--read-timeout-ms N] \
+         [--trace FILE]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut listen = None;
+    let mut state_dir = PathBuf::from("serve-state");
+    let mut cache_dir = None;
+    let mut workers = 2usize;
+    let mut exec_jobs = 1usize;
+    let mut read_timeout_ms = 10_000u64;
+    let mut trace = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("clapped_serve: {name} needs a value");
+                exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--uds" => listen = Some(Listen::Uds(PathBuf::from(value("--uds")))),
+            "--tcp" => listen = Some(Listen::Tcp(value("--tcp"))),
+            "--state-dir" => state_dir = PathBuf::from(value("--state-dir")),
+            "--cache-dir" => cache_dir = Some(PathBuf::from(value("--cache-dir"))),
+            "--workers" => {
+                workers = value("--workers").parse().unwrap_or_else(|_| {
+                    eprintln!("clapped_serve: --workers needs an integer");
+                    exit(2);
+                })
+            }
+            "--exec-jobs" => {
+                exec_jobs = value("--exec-jobs").parse().unwrap_or_else(|_| {
+                    eprintln!("clapped_serve: --exec-jobs needs an integer");
+                    exit(2);
+                })
+            }
+            "--read-timeout-ms" => {
+                read_timeout_ms = value("--read-timeout-ms").parse().unwrap_or_else(|_| {
+                    eprintln!("clapped_serve: --read-timeout-ms needs an integer");
+                    exit(2);
+                })
+            }
+            "--trace" => trace = Some(PathBuf::from(value("--trace"))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("clapped_serve: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    let Some(listen) = listen else {
+        eprintln!("clapped_serve: one of --uds or --tcp is required");
+        usage();
+    };
+    Args { listen, state_dir, cache_dir, workers, exec_jobs, read_timeout_ms, trace }
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(path) = &args.trace {
+        if let Err(e) = clapped_obs::enable_jsonl(path) {
+            eprintln!("clapped_serve: cannot open trace file {}: {e}", path.display());
+            exit(1);
+        }
+    }
+
+    let mut config = ServerConfig::new(args.listen, args.state_dir);
+    config.cache_dir = args.cache_dir;
+    config.workers = args.workers;
+    config.exec_jobs = args.exec_jobs;
+    config.read_timeout_ms = args.read_timeout_ms;
+
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("clapped_serve: start failed: {e}");
+            exit(1);
+        }
+    };
+    match server.listen_addr() {
+        Listen::Tcp(addr) => println!("listening on tcp {addr}"),
+        Listen::Uds(path) => println!("listening on uds {}", path.display()),
+    }
+    server.join();
+    clapped_obs::finish();
+    // Stdout may be a pipe whose reader is long gone (supervisors often
+    // only read the readiness line); the farewell must not panic.
+    use std::io::Write as _;
+    let _ = writeln!(std::io::stdout(), "clapped_serve: drained, exiting");
+}

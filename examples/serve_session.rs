@@ -1,0 +1,113 @@
+//! DSE-as-a-service in one process: start a `clapped-serve` server on a
+//! loopback port, submit two jobs with different quality constraints
+//! for two tenants, stream their progress, and print both Pareto
+//! fronts. The tighter constraint yields a front whose feasible set is
+//! a strict refinement of the looser one — same search, different
+//! tenant contract.
+//!
+//! Run with: `cargo run --release --example serve_session [-- --trace[=path]]`
+
+use clapped::obs::Deadline;
+use clapped::serve::{Client, JobSpec, JobState, Listen, Server, ServerConfig};
+use std::error::Error;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    clapped::obs::init_trace_from_args();
+
+    // An in-process daemon: loopback TCP, fresh state directory, two
+    // worker shards. The same binary workflow works over `--uds` with
+    // the standalone `clapped_serve` daemon.
+    let root = std::env::temp_dir().join(format!("serve_session_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut config = ServerConfig::new(Listen::Tcp("127.0.0.1:0".to_string()), root.join("state"));
+    config.cache_dir = Some(root.join("cache"));
+    let server = Server::start(config)?;
+    println!("serving on {:?}", server.listen_addr());
+
+    // Two tenants, same application recipe, different quality
+    // constraints: "edge" tolerates 15% application error, "studio"
+    // demands 6%. The recipes match, so both jobs share one pooled
+    // framework instance and its result cache.
+    let base = JobSpec {
+        image_size: 16,
+        mbo: clapped::dse::MboConfig {
+            initial_samples: 8,
+            iterations: 3,
+            batch: 3,
+            candidates: 12,
+            reference: vec![40.0, 5000.0],
+            kappa: 1.0,
+            explore_fraction: 0.1,
+            seed: 11,
+        },
+        ..JobSpec::default()
+    };
+    let mut client = Client::connect(server.listen_addr())?;
+    let relaxed = client.submit(
+        "edge",
+        JobSpec { max_error_percent: Some(15.0), ..base.clone() },
+    )?;
+    let strict = client.submit(
+        "studio",
+        JobSpec {
+            max_error_percent: Some(6.0),
+            mbo: clapped::dse::MboConfig { seed: 12, ..base.mbo },
+            ..base
+        },
+    )?;
+    println!("submitted {relaxed} (error <= 15%) and {strict} (error <= 6%)");
+
+    // Stream progress until both campaigns complete.
+    let limit = Deadline::after(Duration::from_secs(600));
+    let mut last = (u64::MAX, u64::MAX);
+    loop {
+        let a = client.status(&relaxed)?;
+        let b = client.status(&strict)?;
+        if (a.evaluations_done, b.evaluations_done) != last {
+            last = (a.evaluations_done, b.evaluations_done);
+            println!(
+                "  {relaxed}: {}/{} evals (hv {:.0})   {strict}: {}/{} evals (hv {:.0})",
+                a.evaluations_done, a.evaluations_planned, a.hypervolume,
+                b.evaluations_done, b.evaluations_planned, b.hypervolume,
+            );
+        }
+        if a.state.is_terminal() && b.state.is_terminal() {
+            assert_eq!(a.state, JobState::Done, "{:?}", a.error);
+            assert_eq!(b.state, JobState::Done, "{:?}", b.error);
+            break;
+        }
+        if limit.expired() {
+            return Err("jobs did not finish in time".into());
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+
+    for (job, label) in [(&relaxed, "error <= 15%"), (&strict, "error <= 6%")] {
+        let (_, pareto) = client.result(job)?;
+        println!("\nPareto front of {job} ({label}):");
+        println!("  {:>10} {:>10}  feasible", "error %", "LUTs");
+        for entry in &pareto {
+            println!(
+                "  {:>10.3} {:>10.0}  {}",
+                entry.error_percent,
+                entry.luts,
+                if entry.feasible { "yes" } else { "no" },
+            );
+        }
+        let feasible = pareto.iter().filter(|e| e.feasible).count();
+        println!("  {} points, {} feasible under {label}", pareto.len(), feasible);
+    }
+
+    let stats = client.stats()?;
+    println!(
+        "\nserver: {} jobs done, {} MBO phases, cache hits {} / misses {}",
+        stats.jobs_done, stats.steps, stats.cache.hits, stats.cache.misses,
+    );
+
+    client.shutdown()?;
+    server.join();
+    let _ = std::fs::remove_dir_all(&root);
+    clapped::obs::finish();
+    Ok(())
+}

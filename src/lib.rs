@@ -30,6 +30,8 @@
 //! - [`lint`] — static analysis: workspace source/layering lints and
 //!   netlist structural lints (the `clapped_lint` CI gate).
 //! - [`core`] — the CLAppED framework façade wiring all stages together.
+//! - [`serve`] — DSE-as-a-service: a multi-tenant daemon with a fair job
+//!   queue, sharded workers, and crash-safe checkpointed sessions.
 //!
 //! # Quick start
 //!
@@ -53,3 +55,4 @@ pub use clapped_mlp as mlp;
 pub use clapped_netlist as netlist;
 pub use clapped_obs as obs;
 pub use clapped_runtime as runtime;
+pub use clapped_serve as serve;
