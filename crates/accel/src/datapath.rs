@@ -1,9 +1,11 @@
 //! Datapath netlist generation for convolution accelerators.
 
-use crate::{AcceleratorSpec, Result};
+use crate::{AccelError, AcceleratorSpec, Result};
+use clapped_exec::{Memo, MemoStats};
 use clapped_imgproc::ConvMode;
 use clapped_netlist::bus::{self, Bus};
 use clapped_netlist::{Netlist, SignalId};
+use std::sync::{Arc, OnceLock};
 
 /// Builds the combinational datapath of the accelerator's processing
 /// element: all tap multipliers, the sign-extended adder tree, the
@@ -33,7 +35,7 @@ pub fn build_datapath(spec: &AcceleratorSpec, shift: u32) -> Result<Netlist> {
     match spec.mode {
         ConvMode::TwoD => {
             let taps = spec.window * spec.window;
-            let out = build_pe(&mut n, spec, 0, taps, shift, "");
+            let out = build_pe(&mut n, spec, 0, taps, shift, "")?;
             n.output_bus("pix_out", &out);
         }
         ConvMode::Separable => {
@@ -41,13 +43,48 @@ pub fn build_datapath(spec: &AcceleratorSpec, shift: u32) -> Result<Netlist> {
             // Two independent processing elements; the horizontal PE's
             // output would stream through the line buffer into the
             // vertical PE, so the combinational datapaths are disjoint.
-            let h = build_pe(&mut n, spec, 0, w, shift, "h_");
+            let h = build_pe(&mut n, spec, 0, w, shift, "h_")?;
             n.output_bus("pix_h", &h);
-            let v = build_pe(&mut n, spec, w, w, shift, "v_");
+            let v = build_pe(&mut n, spec, w, w, shift, "v_")?;
             n.output_bus("pix_v", &v);
         }
     }
     Ok(n)
+}
+
+fn datapath_memo() -> &'static Memo<u64, Arc<Netlist>> {
+    static MEMO: OnceLock<Memo<u64, Arc<Netlist>>> = OnceLock::new();
+    MEMO.get_or_init(Memo::new)
+}
+
+/// [`build_datapath`] memoized process-wide by the
+/// `(spec content digest, shift)` pair, mirroring the conv-plan LUT
+/// memoization. Streaming simulation calls this once per frame, so a
+/// steady-state stream pays for datapath generation exactly once per
+/// distinct design point instead of once per frame.
+///
+/// # Errors
+///
+/// Returns [`crate::AccelError::BadSpec`] if the spec fails validation
+/// (nothing is cached for failing specs).
+pub fn build_datapath_cached(spec: &AcceleratorSpec, shift: u32) -> Result<Arc<Netlist>> {
+    let key = clapped_exec::StructDigest::new("accel::datapath")
+        .field("spec", &spec.content_digest())
+        .field("shift", &u64::from(shift))
+        .finish();
+    if let Some(n) = datapath_memo().get(&key) {
+        return Ok(n);
+    }
+    // Build outside the memo lock; a racing duplicate build is resolved
+    // by keeping whichever entry lands first.
+    let built = Arc::new(build_datapath(spec, shift)?);
+    Ok(datapath_memo().insert_if_absent(key, built))
+}
+
+/// Hit/miss counters of the process-wide datapath memo — the cache-stats
+/// hook proving a warm stream stops rebuilding datapaths.
+pub fn datapath_cache_stats() -> MemoStats {
+    datapath_memo().stats()
 }
 
 /// Builds one processing element using `count` taps starting at
@@ -59,7 +96,7 @@ fn build_pe(
     count: usize,
     shift: u32,
     prefix: &str,
-) -> Bus {
+) -> Result<Bus> {
     let mut products: Vec<Bus> = Vec::with_capacity(count);
     for t in 0..count {
         let px = n.input_bus(&format!("{prefix}px{t}"), 8);
@@ -89,7 +126,9 @@ fn build_pe(
         }
         level = next;
     }
-    let acc = level.pop().expect("at least one product");
+    let acc = level
+        .pop()
+        .ok_or_else(|| AccelError::Synth(format!("{prefix}PE adder tree reduced to nothing")))?;
     // Normalization shift is free wiring: take bits [shift .. shift+8]
     // plus the bits above for clamping.
     let sh = shift as usize;
@@ -101,8 +140,10 @@ fn build_pe(
 
 /// Clamps a signed bus to `0..=127` and returns it as 8 bits
 /// (`0vvvvvvv`).
-fn clamp_to_u7(n: &mut Netlist, v: &[SignalId]) -> Bus {
-    let sign = *v.last().expect("non-empty value");
+fn clamp_to_u7(n: &mut Netlist, v: &[SignalId]) -> Result<Bus> {
+    let sign = *v
+        .last()
+        .ok_or_else(|| AccelError::Synth("clamp input bus is empty".into()))?;
     // Overflow: any bit above the low 7 set while non-negative.
     let high_bits: Vec<SignalId> = v[7..v.len() - 1].to_vec();
     let any_high = n.or_reduce(&high_bits);
@@ -116,7 +157,7 @@ fn clamp_to_u7(n: &mut Netlist, v: &[SignalId]) -> Bus {
         out.push(gated);
     }
     out.push(n.constant(false));
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

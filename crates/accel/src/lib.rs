@@ -35,11 +35,11 @@ mod perf;
 mod spec;
 mod streamsim;
 
-pub use datapath::build_datapath;
+pub use datapath::{build_datapath, build_datapath_cached, datapath_cache_stats};
 pub use features::{features, table1_rows, FeatureMode, MulProps, OpLibrary, PerfMetric};
 pub use perf::{characterize, characterize_fast, compute_duty_factor, latency_cycles, AccelReport, CharacterizeConfig};
 pub use spec::AcceleratorSpec;
-pub use streamsim::simulate_stream;
+pub use streamsim::{simulate_stream, simulate_stream_ref};
 
 use std::error::Error;
 use std::fmt;
@@ -55,6 +55,8 @@ pub enum AccelError {
     },
     /// Synthesis of the datapath failed.
     Synth(String),
+    /// Gate-level simulation of the datapath failed.
+    Sim(String),
 }
 
 impl fmt::Display for AccelError {
@@ -62,6 +64,7 @@ impl fmt::Display for AccelError {
         match self {
             AccelError::BadSpec { reason } => write!(f, "invalid accelerator spec: {reason}"),
             AccelError::Synth(msg) => write!(f, "datapath synthesis failed: {msg}"),
+            AccelError::Sim(msg) => write!(f, "datapath simulation failed: {msg}"),
         }
     }
 }

@@ -98,6 +98,34 @@ impl AcceleratorSpec {
         Ok(())
     }
 
+    /// Stable content digest of everything that determines the generated
+    /// datapath: the architectural fields plus every tap's behavioural
+    /// digest, in tap order. Two specs with equal digests build
+    /// identical datapath netlists, which is what makes the digest a
+    /// sound memoization key for [`crate::build_datapath_cached`].
+    pub fn content_digest(&self) -> u64 {
+        use clapped_axops::Mul8s;
+        let mode = match self.mode {
+            ConvMode::TwoD => "2d",
+            ConvMode::Separable => "separable",
+        };
+        let taps: Vec<u64> = self
+            .muls
+            .iter()
+            // AxMul always carries a behaviour digest; 0 is an inert
+            // placeholder that keeps the field total.
+            .map(|m| m.behaviour_digest().unwrap_or(0))
+            .collect();
+        clapped_exec::StructDigest::new("accel::AcceleratorSpec")
+            .field("image_size", &self.image_size)
+            .field("window", &self.window)
+            .field("stride", &self.stride)
+            .field("downsample", &self.downsample)
+            .field("mode", &mode)
+            .field("taps", &taps)
+            .finish()
+    }
+
     /// Line-buffer storage in bits: the sliding window needs `window − 1`
     /// full image lines of 8-bit pixels (both separable passes share this
     /// requirement through the vertical pass).

@@ -46,5 +46,10 @@ fn traced_and_untraced_streams_are_bit_identical() {
         text.contains("accel.streamsim.frames") && text.contains("accel.streamsim.evals"),
         "per-frame counters must appear in the trailing metrics record"
     );
+    assert!(
+        text.contains("accel.streamsim.lanes_active")
+            && text.contains("accel.streamsim.lanes_total"),
+        "wide-pipeline lane-utilization counters must appear in the trailing metrics record"
+    );
     let _ = std::fs::remove_file(&path);
 }

@@ -54,7 +54,10 @@ pub use booth::booth_reference;
 pub use drum::drum_reference;
 pub use fault::{build_mul_table_with_faults, FaultedMul};
 pub use logmul::mitchell_reference;
-pub use table::{build_mul_table, build_mul_table_cached, exhaustive_pairs, table_cache_stats};
+pub use table::{
+    build_mul_table, build_mul_table_cached, build_mul_table_ref64, exhaustive_pairs,
+    table_cache_stats,
+};
 
 use clapped_netlist::Netlist;
 use std::fmt;

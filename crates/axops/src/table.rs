@@ -9,7 +9,7 @@
 //! process ever**, and all operator instances share one allocation.
 
 use clapped_exec::{Memo, MemoStats};
-use clapped_netlist::{pack_bus_samples, unpack_bus_samples, Netlist};
+use clapped_netlist::{pack_bus_samples, transpose8x8, unpack_bus_samples, Netlist};
 use std::sync::{Arc, OnceLock};
 
 /// Iterates over all 65 536 signed 8-bit input pairs, `a` outermost.
@@ -25,16 +25,101 @@ pub fn exhaustive_pairs() -> impl Iterator<Item = (i8, i8)> {
 }
 
 /// Builds the 256×256 product table of a multiplier netlist by exhaustive
-/// 64-lane simulation.
+/// wide-word simulation: 1024 lanes per evaluation pass, four values of
+/// `a` per pass.
 ///
 /// The netlist must have inputs `a[0..8]` then `b[0..8]` and a 16-bit
 /// signed product output. Table index is `(a as u8) << 8 | (b as u8)`.
+///
+/// The exhaustive sweep has exploitable structure at this width: within
+/// each 256-lane quarter of a block the `a` byte is constant (each bit
+/// broadcasts to all-zeros or all-ones per quarter) and the `b` byte
+/// counts `0..=255`, so its bit patterns are the same fixed blocks for
+/// every pass. Inputs are therefore assembled with a handful of word
+/// writes per pass instead of per-lane packing, the evaluation scratch
+/// is reused across all 64 passes, and the product rows are unpacked
+/// from the output bitplanes eight lanes at a time through
+/// [`transpose8x8`]. Bit-identical to [`build_mul_table_ref64`], which
+/// is pinned by tests over the whole standard catalog.
 ///
 /// # Panics
 ///
 /// Panics if the netlist interface does not match (wrong input/output
 /// arity).
 pub fn build_mul_table(netlist: &Netlist) -> Vec<i16> {
+    assert_eq!(netlist.inputs().len(), 16, "expected 16 inputs (a, b)");
+    assert_eq!(netlist.outputs().len(), 16, "expected a 16-bit product");
+    const W: usize = 16;
+    const LANES: usize = 64 * W;
+    // Words per 256-lane quarter (one `a` value spans one quarter).
+    const QW: usize = 4;
+    const A_PER_PASS: usize = LANES / 256;
+    // b counts 0..=255 inside every quarter: fixed counting patterns.
+    let mut b_bits = [[0u64; W]; 8];
+    for lane in 0..LANES {
+        let b = lane & 0xff;
+        for (k, block) in b_bits.iter_mut().enumerate() {
+            block[lane / 64] |= (((b >> k) & 1) as u64) << (lane % 64);
+        }
+    }
+    let mut inputs: Vec<[u64; W]> = vec![[0u64; W]; 16];
+    inputs[8..16].copy_from_slice(&b_bits);
+    let mut table = vec![0i16; 65_536];
+    let mut scratch: Vec<[u64; W]> = Vec::new();
+    let mut outs: Vec<[u64; W]> = Vec::new();
+    for pass in 0..256 / A_PER_PASS {
+        // a is constant across each quarter: broadcast each bit.
+        for sub in 0..A_PER_PASS {
+            let a_byte = pass * A_PER_PASS + sub;
+            for (k, input) in inputs[..8].iter_mut().enumerate() {
+                let word = if (a_byte >> k) & 1 == 1 { !0u64 } else { 0 };
+                input[sub * QW..(sub + 1) * QW].fill(word);
+            }
+        }
+        netlist
+            .simulate_blocks_into::<W>(&inputs, &mut scratch, &mut outs)
+            .expect("operator netlist interface verified above");
+        // Rebuild the product rows from the 16 output bitplanes, eight
+        // lanes per transpose (low byte from planes 0..8, high from
+        // 8..16).
+        let (lo_planes, hi_planes) = outs.split_at(8);
+        for sub in 0..A_PER_PASS {
+            let a_byte = pass * A_PER_PASS + sub;
+            let row = &mut table[a_byte << 8..(a_byte + 1) << 8];
+            for qw in 0..QW {
+                let w = sub * QW + qw;
+                for octet in 0..8 {
+                    let mut lo = 0u64;
+                    let mut hi = 0u64;
+                    for k in 0..8 {
+                        lo |= ((lo_planes[k][w] >> (8 * octet)) & 0xff) << (8 * k);
+                        hi |= ((hi_planes[k][w] >> (8 * octet)) & 0xff) << (8 * k);
+                    }
+                    let lo = transpose8x8(lo);
+                    let hi = transpose8x8(hi);
+                    for lane in 0..8 {
+                        let p = ((lo >> (8 * lane)) & 0xff) as u16
+                            | ((((hi >> (8 * lane)) & 0xff) as u16) << 8);
+                        row[qw * 64 + octet * 8 + lane] = p as i16;
+                    }
+                }
+            }
+        }
+    }
+    table
+}
+
+/// The retained 64-lane reference table builder: per-batch `Vec`
+/// packing through [`pack_bus_samples`]/[`unpack_bus_samples`] exactly
+/// as shipped before the wide-word simulator. [`build_mul_table`] is
+/// pinned bit-identical to this path by tests and benchmarked against
+/// it in `bench_sim`.
+///
+/// # Panics
+///
+/// Panics if the netlist interface does not match (wrong input/output
+/// arity).
+pub fn build_mul_table_ref64(netlist: &Netlist) -> Vec<i16> {
     assert_eq!(netlist.inputs().len(), 16, "expected 16 inputs (a, b)");
     assert_eq!(netlist.outputs().len(), 16, "expected a 16-bit product");
     let mut table = vec![0i16; 65_536];
@@ -103,6 +188,16 @@ mod tests {
         assert_eq!(v.first(), Some(&(-128, -128)));
         assert_eq!(v.last(), Some(&(127, 127)));
         assert_eq!(v.len(), 65_536);
+    }
+
+    #[test]
+    fn wide_table_matches_ref64_builder() {
+        let mut n = Netlist::new("exact8");
+        let a = n.input_bus("a", 8);
+        let b = n.input_bus("b", 8);
+        let p = bus::baugh_wooley_mul(&mut n, &a, &b);
+        n.output_bus("p", &p);
+        assert_eq!(build_mul_table(&n), build_mul_table_ref64(&n));
     }
 
     #[test]

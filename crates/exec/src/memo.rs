@@ -101,6 +101,18 @@ impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
         v
     }
 
+    /// Stores `value` for `key` unless an entry already exists, and
+    /// returns the entry that ends up in the table. Unlike
+    /// [`Memo::get_or_insert_with`] this never touches the hit/miss
+    /// counters — it is the write half of a fallible-compute pattern
+    /// (probe with [`Memo::get`], compute outside the lock, publish
+    /// here), where the probe already recorded the miss and a racing
+    /// duplicate insert must not be miscounted.
+    pub fn insert_if_absent(&self, key: K, value: V) -> V {
+        let mut table = self.table();
+        table.entry(key).or_insert(value).clone()
+    }
+
     /// Returns the memoized value for `key` without computing.
     pub fn get(&self, key: &K) -> Option<V> {
         let table = self.table();

@@ -12,7 +12,7 @@
 //! | `entropy-rng` | `thread_rng`, `from_entropy`, `OsRng`, … | everywhere, tests included |
 //! | `partial-cmp-sort` | `partial_cmp` inside a sort/ordering call | everywhere |
 //! | `no-unwrap` | `.unwrap()` | library code |
-//! | `no-expect` | `.expect(` | panic-free layers (exec, obs, runtime, serve, checkpoint) |
+//! | `no-expect` | `.expect(` | panic-free layers (exec, obs, runtime, serve, accel, checkpoint) |
 //! | `no-print` | `println!` & friends | library code except `bench` |
 //! | `todo-markers` | `todo!`, `unimplemented!` | everywhere |
 //! | `cfg-test-mod` | `mod tests` without `#[cfg(test)]` | library code |
@@ -171,6 +171,7 @@ fn rules() -> Vec<Rule> {
                     || p.starts_with("crates/obs/src/")
                     || p.starts_with("crates/runtime/src/")
                     || p.starts_with("crates/serve/src/")
+                    || p.starts_with("crates/accel/src/")
                     || p == "crates/dse/src/checkpoint.rs")
                     && is_src_lib(p)
             },
@@ -462,6 +463,9 @@ mod tests {
         // The daemon must degrade, not abort: a panicking worker shard
         // would strand its tenants' jobs.
         assert_eq!(rules_of(&run("crates/serve/src/server.rs", bad)), ["no-expect"]);
+        // The compiled stream pipeline propagates simulation errors; a
+        // panic mid-frame would kill a whole DSE sweep.
+        assert_eq!(rules_of(&run("crates/accel/src/streamsim.rs", bad)), ["no-expect"]);
         assert!(run("crates/serve/src/bin/clapped_serve.rs", bad).is_empty());
         assert!(run("crates/netlist/src/x.rs", bad).is_empty());
     }

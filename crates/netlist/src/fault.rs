@@ -21,6 +21,25 @@ use crate::NetlistError;
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+/// Words per simulation block in the sharded stuck-at campaign: each
+/// wide evaluation pass carries `64 × CAMPAIGN_BLOCK_WORDS` lanes.
+pub const CAMPAIGN_BLOCK_WORDS: usize = 8;
+
+/// Input-block groups per `(site, batch-chunk)` shard handed to the
+/// execution engine — small enough that campaigns with few sites still
+/// fan out over batches, large enough to amortize dispatch.
+const CAMPAIGN_GROUPS_PER_SHARD: usize = 16;
+
+/// Integer mismatch statistics from one campaign shard. Folding these
+/// across shards is exact in any order, which is what makes the sharded
+/// campaign bit-identical to the serial reference.
+struct ShardStats {
+    /// Lanes with at least one wrong output bit.
+    mismatched_lanes: u64,
+    /// Wrong-lane count per output bit position.
+    bit_mismatches: Vec<u64>,
+}
+
 /// The permanent fault models supported on a net.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
@@ -98,7 +117,7 @@ impl FaultSet {
     }
 
     /// Largest signal index referenced (validation helper).
-    fn max_index(&self) -> Option<usize> {
+    pub(crate) fn max_index(&self) -> Option<usize> {
         self.entries.iter().map(|e| e.0).max()
     }
 
@@ -349,6 +368,15 @@ impl Netlist {
     /// carries the forced value to an output. [`CampaignReport::simulated_sites`]
     /// counts the sweeps that actually ran.
     ///
+    /// Internally the sweep runs on the wide-word simulator
+    /// ([`Netlist::simulate_blocks_with_faults`]): batches are packed
+    /// into [`CAMPAIGN_BLOCK_WORDS`]-word blocks once, shared by every
+    /// site, and the work fans out over `engine` as
+    /// `(site, batch-chunk)` shards. All mismatch statistics are
+    /// accumulated as exact integers and folded in a fixed order, so
+    /// the report is bit-identical to [`Netlist::stuck_at_campaign_ref`]
+    /// at any thread count and any chunking.
+    ///
     /// # Errors
     ///
     /// See [`Netlist::eval_words_with_faults`].
@@ -360,31 +388,26 @@ impl Netlist {
         engine: &clapped_exec::Engine,
         options: CampaignOptions,
     ) -> crate::Result<CampaignReport> {
+        const W: usize = CAMPAIGN_BLOCK_WORDS;
         assert!((1..=64).contains(&lanes_per_batch), "1..=64 lanes per batch");
         let lane_mask: u64 = if lanes_per_batch == 64 {
             !0
         } else {
             (1u64 << lanes_per_batch) - 1
         };
-        // Golden outputs per batch, computed once and shared by all
-        // worker threads.
-        let golden: Vec<Vec<u64>> = input_batches
-            .iter()
-            .map(|b| self.simulate_words_with_faults(b, &FaultSet::empty()))
-            .collect::<crate::Result<_>>()?;
-        let out_bits = self.outputs().len();
-        let max_weight: f64 = (0..out_bits).map(|k| (k as f64).exp2()).sum();
-        let samples = input_batches.len() * lanes_per_batch;
-        if !options.skip_dead {
-            let sites_out = engine.try_evaluate_many(sites, |_, &fault| {
-                self.sweep_one_site(fault, input_batches, &golden, lane_mask, max_weight, samples)
-            })?;
-            let simulated_sites = sites_out.len();
-            return Ok(CampaignReport { sites: sites_out, samples, simulated_sites });
+        let n_inputs = self.inputs().len();
+        // Validate batches in order (the reference's golden pass
+        // surfaces the first bad batch), then sites in order (the
+        // reference's per-site sweep surfaces the lowest-indexed bad
+        // site).
+        for batch in input_batches {
+            if batch.len() != n_inputs {
+                return Err(NetlistError::InputCountMismatch {
+                    expected: n_inputs,
+                    found: batch.len(),
+                });
+            }
         }
-        // Validate every site upfront: the full sweep reports the
-        // lowest-indexed failing site, and skipping must not change
-        // which error surfaces.
         for fault in sites {
             if fault.signal.index() >= self.len() {
                 return Err(NetlistError::InvalidFaultSite {
@@ -393,31 +416,197 @@ impl Netlist {
                 });
             }
         }
-        let live = crate::lint::live_cone(self);
-        let live_sites: Vec<Fault> = sites
-            .iter()
-            .copied()
-            .filter(|f| live[f.signal.index()])
+        // Pack the batches into W-word blocks once; padding words of a
+        // partial final block stay zero and are masked out of every
+        // mismatch count below.
+        let n_groups = input_batches.len().div_ceil(W);
+        let grouped: Vec<Vec<[u64; W]>> = (0..n_groups)
+            .map(|g| {
+                (0..n_inputs)
+                    .map(|k| {
+                        let mut block = [0u64; W];
+                        for (w, slot) in block.iter_mut().enumerate() {
+                            if let Some(batch) = input_batches.get(g * W + w) {
+                                *slot = batch[k];
+                            }
+                        }
+                        block
+                    })
+                    .collect()
+            })
             .collect();
-        let simulated = engine.try_evaluate_many(&live_sites, |_, &fault| {
-            self.sweep_one_site(fault, input_batches, &golden, lane_mask, max_weight, samples)
+        // Meaningful-lane masks per block word (zero on padding words).
+        let word_masks: Vec<[u64; W]> = (0..n_groups)
+            .map(|g| {
+                let mut m = [0u64; W];
+                for (w, slot) in m.iter_mut().enumerate() {
+                    if g * W + w < input_batches.len() {
+                        *slot = lane_mask;
+                    }
+                }
+                m
+            })
+            .collect();
+        // Wide golden outputs, computed once and shared by all shards.
+        let golden: Vec<Vec<[u64; W]>> = grouped
+            .iter()
+            .map(|blocks| self.simulate_blocks::<W>(blocks))
+            .collect::<crate::Result<_>>()?;
+        let out_bits = self.outputs().len();
+        let max_weight: f64 = (0..out_bits).map(|k| (k as f64).exp2()).sum();
+        let samples = input_batches.len() * lanes_per_batch;
+
+        let live = if options.skip_dead { Some(crate::lint::live_cone(self)) } else { None };
+        let sim_sites: Vec<Fault> = match &live {
+            Some(live) => sites.iter().copied().filter(|f| live[f.signal.index()]).collect(),
+            None => sites.to_vec(),
+        };
+        let simulated_sites = sim_sites.len();
+
+        // Shard the sweep over (site, batch-chunk) jobs so both many
+        // sites and many batches feed the thread pool.
+        let shards_per_site = n_groups.div_ceil(CAMPAIGN_GROUPS_PER_SHARD).max(1);
+        let jobs: Vec<(usize, usize, usize)> = (0..sim_sites.len())
+            .flat_map(|si| {
+                (0..shards_per_site).map(move |s| {
+                    let g0 = (s * CAMPAIGN_GROUPS_PER_SHARD).min(n_groups);
+                    let g1 = ((s + 1) * CAMPAIGN_GROUPS_PER_SHARD).min(n_groups);
+                    (si, g0, g1)
+                })
+            })
+            .collect();
+        let partials = engine.try_evaluate_many(&jobs, |_, &(si, g0, g1)| {
+            self.sweep_shard(
+                sim_sites[si],
+                &grouped[g0..g1],
+                &golden[g0..g1],
+                &word_masks[g0..g1],
+                out_bits,
+            )
         })?;
-        let simulated_sites = simulated.len();
+
+        // Fold the shards per site in shard order. Both counters are
+        // integers, so the fold is exact and order-insensitive; the
+        // weighted sum below adds integer-valued f64 terms (count·2^k,
+        // all below 2^53), which is exactly how the reference's
+        // per-batch accumulation rounds — bit-identical results.
+        let mut site_reports = Vec::with_capacity(sim_sites.len());
+        for (si, fault) in sim_sites.iter().enumerate() {
+            let mut mismatched: u64 = 0;
+            let mut bit_counts = vec![0u64; out_bits];
+            for partial in &partials[si * shards_per_site..(si + 1) * shards_per_site] {
+                mismatched += partial.mismatched_lanes;
+                for (acc, c) in bit_counts.iter_mut().zip(&partial.bit_mismatches) {
+                    *acc += c;
+                }
+            }
+            let mut weighted = 0.0f64;
+            for (k, &c) in bit_counts.iter().enumerate() {
+                weighted += c as f64 * (k as f64).exp2();
+            }
+            site_reports.push(FaultSiteReport {
+                fault: *fault,
+                mismatch_rate: mismatched as f64 / samples as f64,
+                weighted_error: weighted / (samples as f64 * max_weight),
+            });
+        }
+
         // Re-interleave simulated and skipped sites in injection order.
-        let mut simulated = simulated.into_iter();
+        let sites_out = match &live {
+            None => site_reports,
+            Some(live) => {
+                let mut simulated = site_reports.into_iter();
+                sites
+                    .iter()
+                    .map(|&fault| {
+                        if live[fault.signal.index()] {
+                            simulated.next().unwrap_or(FaultSiteReport {
+                                fault,
+                                mismatch_rate: 0.0,
+                                weighted_error: 0.0,
+                            })
+                        } else {
+                            FaultSiteReport { fault, mismatch_rate: 0.0, weighted_error: 0.0 }
+                        }
+                    })
+                    .collect()
+            }
+        };
+        Ok(CampaignReport { sites: sites_out, samples, simulated_sites })
+    }
+
+    /// The retained 64-way serial reference campaign: one
+    /// [`Netlist::simulate_words_with_faults`] pass per site per batch,
+    /// statistics accumulated batch by batch. The wide sharded
+    /// campaign above is pinned bit-identical to this path by the
+    /// property tests and benchmarked against it in `bench_sim`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Netlist::eval_words_with_faults`].
+    pub fn stuck_at_campaign_ref(
+        &self,
+        sites: &[Fault],
+        input_batches: &[Vec<u64>],
+        lanes_per_batch: usize,
+    ) -> crate::Result<CampaignReport> {
+        assert!((1..=64).contains(&lanes_per_batch), "1..=64 lanes per batch");
+        let lane_mask: u64 = if lanes_per_batch == 64 {
+            !0
+        } else {
+            (1u64 << lanes_per_batch) - 1
+        };
+        let golden: Vec<Vec<u64>> = input_batches
+            .iter()
+            .map(|b| self.simulate_words_with_faults(b, &FaultSet::empty()))
+            .collect::<crate::Result<_>>()?;
+        let out_bits = self.outputs().len();
+        let max_weight: f64 = (0..out_bits).map(|k| (k as f64).exp2()).sum();
+        let samples = input_batches.len() * lanes_per_batch;
         let sites_out = sites
             .iter()
             .map(|&fault| {
-                if live[fault.signal.index()] {
-                    simulated
-                        .next()
-                        .unwrap_or(FaultSiteReport { fault, mismatch_rate: 0.0, weighted_error: 0.0 })
-                } else {
-                    FaultSiteReport { fault, mismatch_rate: 0.0, weighted_error: 0.0 }
-                }
+                self.sweep_one_site(fault, input_batches, &golden, lane_mask, max_weight, samples)
             })
-            .collect();
+            .collect::<crate::Result<Vec<_>>>()?;
+        let simulated_sites = sites_out.len();
         Ok(CampaignReport { sites: sites_out, samples, simulated_sites })
+    }
+
+    /// One unit of sharded campaign work: simulates a chunk of input
+    /// blocks under one injected fault and counts mismatches as exact
+    /// integers.
+    fn sweep_shard<const W: usize>(
+        &self,
+        fault: Fault,
+        groups: &[Vec<[u64; W]>],
+        golden: &[Vec<[u64; W]>],
+        word_masks: &[[u64; W]],
+        out_bits: usize,
+    ) -> crate::Result<ShardStats> {
+        let set = FaultSet::from(fault);
+        let masks = set.entries().to_vec();
+        let mut vals: Vec<[u64; W]> = Vec::new();
+        let mut mismatched = 0u64;
+        let mut bit_mismatches = vec![0u64; out_bits];
+        for ((blocks, gold), wmask) in groups.iter().zip(golden).zip(word_masks) {
+            self.eval_blocks_masked(blocks, &masks, &mut vals)?;
+            let mut any_diff = [0u64; W];
+            for (k, (_, s)) in self.outputs().iter().enumerate() {
+                let o = vals[s.index()];
+                let mut count = 0u64;
+                for w in 0..W {
+                    let diff = (o[w] ^ gold[k][w]) & wmask[w];
+                    any_diff[w] |= diff;
+                    count += u64::from(diff.count_ones());
+                }
+                bit_mismatches[k] += count;
+            }
+            for d in any_diff {
+                mismatched += u64::from(d.count_ones());
+            }
+        }
+        Ok(ShardStats { mismatched_lanes: mismatched, bit_mismatches })
     }
 
     /// Simulates every input batch under one injected fault and folds

@@ -45,17 +45,22 @@ mod map;
 mod opt;
 mod power;
 mod sim;
+mod sim_wide;
 mod synth;
 mod timing;
 pub mod verilog;
 
-pub use fault::{CampaignOptions, CampaignReport, Fault, FaultKind, FaultSet, FaultSiteReport};
+pub use fault::{
+    CampaignOptions, CampaignReport, Fault, FaultKind, FaultSet, FaultSiteReport,
+    CAMPAIGN_BLOCK_WORDS,
+};
 pub use ir::{Gate, Netlist, SignalId};
 pub use lint::{lint_netlist, live_cone, NetlistStats, StructFinding, StructReport, StructSeverity};
 pub use map::{map_luts, MapStrategy, MappedLut, MappedNetlist};
 pub use opt::optimize;
 pub use power::{estimate_power, PowerModel, PowerReport};
 pub use sim::{pack_bus_samples, unpack_bus_samples};
+pub use sim_wide::{pack_bus_samples_blocks, transpose8x8, unpack_bus_samples_blocks};
 pub use synth::{synthesize, SynthConfig, SynthReport};
 pub use timing::TimingModel;
 
