@@ -228,7 +228,8 @@ mod tests {
                 "mul8s_tr4".to_string(),
                 clapped_axops::MulArch::Truncated { k: 4 },
             ),
-        ]);
+        ])
+        .expect("unique names");
         let _ = cat;
         OpLibrary::characterize(&reduced, &SynthConfig {
             verify_rounds: 0,

@@ -64,6 +64,63 @@ pub enum MulArch {
         /// Number of truncated LSB columns (`0..=8`).
         trunc: usize,
     },
+    /// Composition of the Baugh-Wooley approximation axes into one
+    /// generator: broken-array partial-product filtering, LSB-column
+    /// truncation, approximate 4:2 compression of the low columns, and a
+    /// lower-part-OR final adder. The all-zero spec degenerates to
+    /// [`MulArch::Exact`]; each single-axis spec matches the
+    /// corresponding pure family — this variant is the combinatorial
+    /// configuration space the generative catalog enumerates.
+    Composed(ComposedSpec),
+}
+
+/// Parameters of a [`MulArch::Composed`] multiplier. Kept as a nested
+/// struct so the variant stays `Copy + Eq + Hash` and specs enumerate
+/// cheaply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ComposedSpec {
+    /// Truncated LSB product columns (`0..=8`), applied after filtering.
+    pub trunc: u8,
+    /// Vertical break line: drop partial products in columns `< vbl`
+    /// (`0..=16`).
+    pub vbl: u8,
+    /// Horizontal break line: drop partial products of the lowest `hbl`
+    /// multiplier rows (`0..=8`).
+    pub hbl: u8,
+    /// First product column compressed with carry-free approximate 4:2
+    /// compressors (`0..=16`). The compressed range is `cmp_lo..cmp`;
+    /// `cmp_lo == 0` reproduces the pure low-column family, while a
+    /// raised floor targets the mid/high columns — behaviourally a
+    /// different design point, since the dropped carries weigh `2^c`.
+    pub cmp_lo: u8,
+    /// One past the last product column compressed with carry-free
+    /// approximate 4:2 compressors (`0..=16`, `cmp <= cmp_lo` disables
+    /// the compression stage).
+    pub cmp: u8,
+    /// Approximate (OR) width of the lower-part-OR final adder
+    /// (`0..=16`, `0` = exact ripple carry).
+    pub loa: u8,
+}
+
+impl ComposedSpec {
+    /// True when every axis is zero — the spec degenerates to the exact
+    /// Baugh-Wooley multiplier.
+    pub fn is_exact(&self) -> bool {
+        self.trunc == 0
+            && self.vbl == 0
+            && self.hbl == 0
+            && self.cmp_lo >= self.cmp
+            && self.loa == 0
+    }
+
+    /// Canonical operator name encoding every axis, unique per spec:
+    /// `mul8s_g_t{trunc}_v{vbl}_h{hbl}_c{cmp_lo}-{cmp}_l{loa}`.
+    pub fn name(&self) -> String {
+        format!(
+            "mul8s_g_t{}_v{}_h{}_c{}-{}_l{}",
+            self.trunc, self.vbl, self.hbl, self.cmp_lo, self.cmp, self.loa
+        )
+    }
 }
 
 impl MulArch {
@@ -96,6 +153,7 @@ impl MulArch {
             MulArch::Mitchell => logmul::build_mitchell(),
             MulArch::Drum { k } => drum::build_drum(k),
             MulArch::Booth { trunc } => booth::build_booth(trunc),
+            MulArch::Composed(spec) => build_composed(spec),
         }
     }
 
@@ -116,6 +174,10 @@ impl MulArch {
             MulArch::Booth { trunc } => {
                 format!("radix-4 Booth (drop {trunc} LSB columns)")
             }
+            MulArch::Composed(s) => format!(
+                "composed array (drop {} LSB cols, VBL {}, HBL {}, 4:2 on {} cols, LOA-{})",
+                s.trunc, s.vbl, s.hbl, s.cmp, s.loa
+            ),
         }
     }
 }
@@ -155,6 +217,86 @@ fn build_filtered_bw(
         cols.take_col(c);
     }
     let p = cols.finalize(&mut n, PW);
+    n.output_bus("p", &p);
+    n
+}
+
+/// Builds a [`MulArch::Composed`] multiplier: filtered Baugh-Wooley
+/// matrix (broken-array lines + truncation), approximate 4:2 compression
+/// of the low columns, carry-save reduction to two rows, and a
+/// lower-part-OR final adder. With every axis at zero each stage
+/// degenerates to its exact form, so the all-zero spec *is* the exact
+/// multiplier.
+fn build_composed(spec: ComposedSpec) -> Netlist {
+    let (trunc, vbl, hbl) = (spec.trunc as usize, spec.vbl as usize, spec.hbl as usize);
+    let (cmp_lo, cmp, loa) = (spec.cmp_lo as usize, spec.cmp as usize, spec.loa as usize);
+    assert!(trunc <= W, "truncation width must be at most 8");
+    assert!(vbl <= PW && hbl <= W, "break lines out of range");
+    assert!(cmp <= PW && cmp_lo <= PW, "approximate column range out of range");
+    assert!(loa <= PW, "LOA width out of range");
+    let mut n = Netlist::new(format!("{}_net", spec.name()));
+    let a = n.input_bus("a", W);
+    let b = n.input_bus("b", W);
+    let mut cols = Columns::new(PW);
+    for i in 0..W {
+        for j in 0..W {
+            if i + j < vbl || j < hbl {
+                continue;
+            }
+            let and = n.and(a[i], b[j]);
+            let pp = if (i == W - 1) ^ (j == W - 1) {
+                n.not(and)
+            } else {
+                and
+            };
+            cols.push(i + j, pp);
+        }
+    }
+    let one = n.constant(true);
+    cols.push(W, one);
+    cols.push(2 * W - 1, one);
+    for c in 0..trunc {
+        cols.take_col(c);
+    }
+    // Carry-free approximate 4:2 compression of the `cmp_lo..cmp` column
+    // range — with a zero floor, exactly the pure ApproxCompressor
+    // family.
+    loop {
+        let mut changed = false;
+        for c in cmp_lo..cmp.min(cols.width()) {
+            while cols.col(c).len() >= 4 {
+                let mut bits = cols.take_col(c);
+                let x4 = bits.pop().expect("len >= 4");
+                let x3 = bits.pop().expect("len >= 3");
+                let x2 = bits.pop().expect("len >= 2");
+                let x1 = bits.pop().expect("len >= 1");
+                for bit in bits {
+                    cols.push(c, bit);
+                }
+                let (sum, carry) = bus::compressor_4_2_approx(&mut n, x1, x2, x3, x4);
+                cols.push(c, sum);
+                cols.push(c + 1, carry);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Reduce to two rows and close with a lower-part-OR adder — the
+    // `loa == 0` case is a plain ripple carry, bit-identical to
+    // `Columns::finalize`.
+    cols.reduce(&mut n, 2);
+    let zero = n.constant(false);
+    let mut row_a = Vec::with_capacity(PW);
+    let mut row_b = Vec::with_capacity(PW);
+    for k in 0..PW {
+        let col = cols.take_col(k);
+        let mut it = col.into_iter();
+        row_a.push(it.next().unwrap_or(zero));
+        row_b.push(it.next().unwrap_or(zero));
+    }
+    let (p, _) = bus::loa_add(&mut n, &row_a, &row_b, loa);
     n.output_bus("p", &p);
     n
 }
@@ -356,6 +498,94 @@ mod tests {
         let mae = mae_of(&table);
         assert!(mae > 0.0, "an approximate design must have error");
         assert!(mae < 2_000.0, "MAE {mae} is implausibly large");
+    }
+
+    #[test]
+    fn composed_all_zero_spec_is_exact() {
+        let spec = ComposedSpec { trunc: 0, vbl: 0, hbl: 0, cmp_lo: 0, cmp: 0, loa: 0 };
+        assert!(spec.is_exact());
+        let table = table_of(MulArch::Composed(spec));
+        for (a, b) in exhaustive_pairs().step_by(73) {
+            assert_eq!(lookup(&table, a, b), a as i16 * b as i16, "{a}*{b}");
+        }
+        // Same behaviour as the pure exact multiplier: identical tables.
+        assert_eq!(table, table_of(MulArch::Exact));
+    }
+
+    #[test]
+    fn composed_single_axis_specs_match_the_pure_families() {
+        // Each single-axis composed spec must reproduce its pure family's
+        // behavioural table exactly.
+        let cases: Vec<(ComposedSpec, MulArch)> = vec![
+            (
+                ComposedSpec { trunc: 3, vbl: 0, hbl: 0, cmp_lo: 0, cmp: 0, loa: 0 },
+                MulArch::Truncated { k: 3 },
+            ),
+            (
+                ComposedSpec { trunc: 0, vbl: 6, hbl: 2, cmp_lo: 0, cmp: 0, loa: 0 },
+                MulArch::BrokenArray { vbl: 6, hbl: 2 },
+            ),
+            (
+                ComposedSpec { trunc: 0, vbl: 0, hbl: 0, cmp_lo: 0, cmp: 8, loa: 0 },
+                MulArch::ApproxCompressor { cols: 8 },
+            ),
+        ];
+        for (spec, pure) in cases {
+            assert_eq!(
+                table_of(MulArch::Composed(spec)),
+                table_of(pure),
+                "{spec:?} vs {pure:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn composed_matrix_axes_match_software_reference() {
+        // trunc × vbl × hbl with exact compression/final adder follows
+        // the filtered-BW reference.
+        let spec = ComposedSpec { trunc: 2, vbl: 4, hbl: 1, cmp_lo: 0, cmp: 0, loa: 0 };
+        let table = table_of(MulArch::Composed(spec));
+        for (a, b) in exhaustive_pairs().step_by(83) {
+            let want = bw_reference(a, b, |i, j| i + j >= 4 && j >= 1, 2);
+            assert_eq!(lookup(&table, a, b), want, "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn composed_loa_axis_error_is_bounded() {
+        let spec = ComposedSpec { trunc: 0, vbl: 0, hbl: 0, cmp_lo: 0, cmp: 0, loa: 5 };
+        let table = table_of(MulArch::Composed(spec));
+        let bound = (1i32 << 5) * 2;
+        let mut worst = 0i32;
+        for (a, b) in exhaustive_pairs().step_by(67) {
+            let err = (lookup(&table, a, b) as i32 - a as i32 * b as i32).abs();
+            worst = worst.max(err);
+            assert!(err <= bound, "LOA err {err} for {a}*{b}");
+        }
+        assert!(worst > 0, "a LOA-5 final adder must be approximate");
+    }
+
+    #[test]
+    fn composed_axes_stack_monotonically_in_error() {
+        // Stacking more approximation axes cannot *reduce* exhaustive MAE
+        // below the single-axis base in these nested cases.
+        let base = mae_of(&table_of(MulArch::Composed(ComposedSpec {
+            trunc: 3,
+            vbl: 0,
+            hbl: 0,
+            cmp_lo: 0,
+            cmp: 0,
+            loa: 0,
+        })));
+        let stacked = mae_of(&table_of(MulArch::Composed(ComposedSpec {
+            trunc: 3,
+            vbl: 5,
+            hbl: 2,
+            cmp_lo: 0,
+            cmp: 0,
+            loa: 0,
+        })));
+        assert!(stacked > base, "stacked {stacked} vs base {base}");
     }
 
     #[test]

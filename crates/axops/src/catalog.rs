@@ -1,7 +1,33 @@
 //! The standard multiplier catalog and paper-name aliases.
 
 use crate::{AxMul, MulArch};
+use std::fmt;
 use std::sync::Arc;
+
+/// Errors of catalog construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CatalogError {
+    /// Two specs carried the same operator name. Name-based lookup
+    /// (`get`/`index_of`) would silently resolve only the first entry,
+    /// so duplicates are rejected at construction.
+    DuplicateName {
+        /// The name that appeared more than once.
+        name: String,
+    },
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::DuplicateName { name } => {
+                write!(f, "duplicate operator name {name:?} in catalog specs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
 
 /// Aliases mapping the EvoApprox8b multiplier names used in the paper to
 /// the accuracy-class-equivalent operators of this library.
@@ -40,8 +66,11 @@ pub struct Catalog {
 }
 
 impl Catalog {
-    /// Builds the standard 24-operator catalog spanning near-exact to
-    /// highly approximate designs.
+    /// Builds the standard catalog of exactly 24 hand-picked multipliers
+    /// spanning near-exact to highly approximate designs. (The "35
+    /// operators" quoted elsewhere count these 24 multipliers plus the
+    /// 11 adders of [`crate::adders::standard_adders`] — the full set
+    /// the netlist lint gate covers.)
     pub fn standard() -> Catalog {
         use MulArch::*;
         let specs: Vec<(String, MulArch)> = vec![
@@ -70,22 +99,37 @@ impl Catalog {
             ("mul8s_drum5".into(), Drum { k: 5 }),
             ("mul8s_drum6".into(), Drum { k: 6 }),
         ];
-        Catalog {
-            muls: specs
-                .into_iter()
-                .map(|(name, arch)| Arc::new(AxMul::new(name, arch)))
-                .collect(),
+        match Catalog::from_specs(specs) {
+            Ok(catalog) => catalog,
+            Err(e) => unreachable!("standard catalog names are unique: {e}"),
         }
     }
 
     /// Builds a catalog from explicit `(name, arch)` specs.
-    pub fn from_specs(specs: impl IntoIterator<Item = (String, MulArch)>) -> Catalog {
-        Catalog {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::DuplicateName`] if two specs share a
+    /// name: `get`/`index_of` resolve by name, so a duplicate would
+    /// shadow every later entry. Generated catalogs (thousands of
+    /// machine-derived specs) are the common way to hit this.
+    pub fn from_specs(
+        specs: impl IntoIterator<Item = (String, MulArch)>,
+    ) -> Result<Catalog, CatalogError> {
+        let specs: Vec<(String, MulArch)> = specs.into_iter().collect();
+        // Reject duplicates before the (expensive) table builds.
+        let mut seen: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        for (name, _) in &specs {
+            if !seen.insert(name.as_str()) {
+                return Err(CatalogError::DuplicateName { name: name.clone() });
+            }
+        }
+        Ok(Catalog {
             muls: specs
                 .into_iter()
                 .map(|(name, arch)| Arc::new(AxMul::new(name, arch)))
                 .collect(),
-        }
+        })
     }
 
     /// Looks an operator up by library name or paper alias.
@@ -148,12 +192,34 @@ mod tests {
     #[test]
     fn standard_catalog_has_expected_size_and_unique_names() {
         let cat = Catalog::standard();
-        assert!(cat.len() >= 21);
+        // Pinned: exactly 24 multipliers (the "35" quoted in the roadmap
+        // additionally counts the 11 standard adders).
+        assert_eq!(cat.len(), 24);
+        assert_eq!(crate::adders::standard_adders().len(), 11);
         let mut names = cat.names();
         let before = names.len();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn from_specs_rejects_duplicate_names() {
+        let err = Catalog::from_specs(vec![
+            ("mul8s_exact".to_string(), MulArch::Exact),
+            ("mul8s_dup".to_string(), MulArch::Truncated { k: 2 }),
+            ("mul8s_dup".to_string(), MulArch::Truncated { k: 3 }),
+        ])
+        .unwrap_err();
+        assert_eq!(err, CatalogError::DuplicateName { name: "mul8s_dup".to_string() });
+        assert!(err.to_string().contains("mul8s_dup"));
+        // Unique names construct fine and resolve each entry.
+        let ok = Catalog::from_specs(vec![
+            ("mul8s_exact".to_string(), MulArch::Exact),
+            ("mul8s_tr2".to_string(), MulArch::Truncated { k: 2 }),
+        ])
+        .unwrap();
+        assert_eq!(ok.index_of("mul8s_tr2"), Some(1));
     }
 
     #[test]
@@ -180,11 +246,17 @@ mod tests {
     fn catalog_spans_wide_accuracy_range() {
         let cat = Catalog::standard();
         let mae = |m: &AxMul| -> f64 {
+            // Normalize by the actual sample count: step_by(17) over
+            // 65 536 pairs yields ceil(65536/17) = 3856 samples, not
+            // the 65536/17 ≈ 3855.06 a closed-form division suggests.
             let mut acc = 0.0;
+            let mut samples = 0u32;
             for (a, b) in exhaustive_pairs().step_by(17) {
                 acc += f64::from((i32::from(m.mul(a, b)) - i32::from(a) * i32::from(b)).abs());
+                samples += 1;
             }
-            acc / (65_536.0 / 17.0)
+            assert_eq!(samples, 3856, "ceil(65536 / 17) samples");
+            acc / f64::from(samples)
         };
         let maes: Vec<f64> = cat.iter().map(|m| mae(m)).collect();
         let min = maes.iter().cloned().fold(f64::INFINITY, f64::min);

@@ -21,7 +21,10 @@
 //! - lower-part-OR final adder ([`MulArch::LoaFinal`]),
 //! - Mitchell logarithmic multiplication ([`MulArch::Mitchell`]),
 //! - DRUM-style dynamic-range multiplication ([`MulArch::Drum`]),
-//! - radix-4 Booth recoding with truncation ([`MulArch::Booth`]).
+//! - radix-4 Booth recoding with truncation ([`MulArch::Booth`]),
+//! - composed Baugh-Wooley approximation axes ([`MulArch::Composed`]) —
+//!   the combinatorial configuration space behind the generative catalog
+//!   ([`GenerativeCatalog`]).
 //!
 //! Approximate adders (8-bit signed) live in [`adders`].
 //!
@@ -45,14 +48,19 @@ mod catalog;
 mod common;
 mod drum;
 mod fault;
+pub mod gen;
 mod logmul;
 mod table;
 
-pub use arch::MulArch;
-pub use catalog::{Catalog, PAPER_ALIASES};
+pub use arch::{ComposedSpec, MulArch};
+pub use catalog::{Catalog, CatalogError, PAPER_ALIASES};
 pub use booth::booth_reference;
 pub use drum::drum_reference;
 pub use fault::{build_mul_table_with_faults, FaultedMul};
+pub use gen::{
+    gen_cache_in_memory, gen_cache_with_disk, spec_digest, table_digest, GenBuildStats, GenEntry,
+    GenFeatures, GenRecord, GenSpace, GenSpec, GenerativeCatalog, GEN_FEATURE_DIM,
+};
 pub use logmul::mitchell_reference;
 pub use table::{
     build_mul_table, build_mul_table_cached, build_mul_table_ref64, exhaustive_pairs,

@@ -1,0 +1,137 @@
+//! Property tests for the generative catalog: every generated
+//! configuration lints clean, behaves exactly like its exhaustive
+//! table, deduplicates soundly by behaviour digest, and rebuilds warm
+//! without recomputing a single table.
+
+use clapped_axops::{
+    build_mul_table, gen_cache_in_memory, table_digest, ComposedSpec, GenSpace,
+    GenerativeCatalog, MulArch,
+};
+use clapped_exec::Engine;
+use clapped_netlist::lint_netlist;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Tables are expensive (exhaustive 65 536-pair simulation); cache them
+/// across proptest cases keyed by spec.
+fn cached_table(spec: ComposedSpec) -> Arc<Vec<i16>> {
+    static CACHE: Mutex<Option<HashMap<String, Arc<Vec<i16>>>>> = Mutex::new(None);
+    let key = spec.name();
+    let mut guard = CACHE.lock().expect("cache lock");
+    let map = guard.get_or_insert_with(HashMap::new);
+    map.entry(key)
+        .or_insert_with(|| Arc::new(build_mul_table(&MulArch::Composed(spec).build_netlist())))
+        .clone()
+}
+
+/// Decodes six independently-drawn axis values into an in-range spec
+/// (the vendored proptest has no tuple/`prop_map` strategies).
+fn spec_of(trunc: u8, vbl: u8, hbl: u8, cmp_lo: u8, cmp: u8, loa: u8) -> ComposedSpec {
+    ComposedSpec { trunc, vbl, hbl, cmp_lo, cmp, loa }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every in-range composed spec builds a structurally clean
+    /// netlist: no cycles, no dangling fanins, no error-severity
+    /// findings.
+    #[test]
+    fn generated_netlists_lint_clean(
+        trunc in 0u8..=8, vbl in 0u8..=16, hbl in 0u8..=8,
+        cmp_lo in 0u8..=16, cmp in 0u8..=16, loa in 0u8..=16,
+    ) {
+        let spec = spec_of(trunc, vbl, hbl, cmp_lo, cmp, loa);
+        let netlist = MulArch::Composed(spec).build_netlist();
+        let report = lint_netlist(&netlist);
+        prop_assert!(
+            report.is_clean(),
+            "{} lints dirty: {:?}",
+            spec.name(),
+            report.findings
+        );
+    }
+
+    /// The exhaustive behavioural table agrees with gate-level
+    /// simulation of the same netlist at arbitrary inputs — the
+    /// "software model ≡ hardware" invariant, extended to the whole
+    /// generative space.
+    #[test]
+    fn table_matches_netlist_simulation(
+        trunc in 0u8..=6, vbl in 0u8..=10, hbl in 0u8..=4,
+        cmp_lo in 0u8..=10, cmp in 0u8..=14, loa in 0u8..=10,
+        a: i8, b: i8,
+    ) {
+        let spec = spec_of(trunc, vbl, hbl, cmp_lo, cmp, loa);
+        let table = cached_table(spec);
+        let idx = ((a as u8 as usize) << 8) | (b as u8 as usize);
+        let sim = MulArch::Composed(spec)
+            .build_netlist()
+            .simulate_binary_op(8, 8, &[(i64::from(a), i64::from(b))], true)
+            .expect("simulates");
+        prop_assert_eq!(sim[0] as i16, table[idx], "{} at {}x{}", spec.name(), a, b);
+    }
+
+    /// Dedup soundness: two specs share a behaviour digest **iff** their
+    /// exhaustive tables are identical. (FNV-1a could collide in
+    /// principle; this hunts for collisions across the spec space where
+    /// a collision would silently merge distinct operators.)
+    #[test]
+    fn equal_digest_iff_equal_table(
+        ta_ in 0u8..=6, va in 0u8..=10, ha in 0u8..=4, ca_lo in 0u8..=10,
+        ca in 0u8..=14, la in 0u8..=10,
+        tb_ in 0u8..=6, vb in 0u8..=10, hb in 0u8..=4, cb_lo in 0u8..=10,
+        cb in 0u8..=14, lb in 0u8..=10,
+    ) {
+        let sa = spec_of(ta_, va, ha, ca_lo, ca, la);
+        let sb = spec_of(tb_, vb, hb, cb_lo, cb, lb);
+        let ta = cached_table(sa);
+        let tb = cached_table(sb);
+        let (da, db) = (table_digest(&ta), table_digest(&tb));
+        prop_assert_eq!(
+            da == db,
+            ta == tb,
+            "digest/table disagreement between {} and {}",
+            sa.name(),
+            sb.name()
+        );
+    }
+
+    /// A warm rebuild over any sub-grid replays every record from the
+    /// cache: zero tables simulated, bit-identical entries, at any
+    /// engine width.
+    #[test]
+    fn warm_rebuild_recomputes_zero_tables(
+        vbl_mask in 1u8..16,
+        hbl_mask in 1u8..4,
+        loa_mask in 1u8..4,
+        jobs in 1usize..=4,
+    ) {
+        // Non-zero bitmasks select non-empty axis subsets.
+        let pick = |mask: u8, options: &[u8]| -> Vec<u8> {
+            options
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &v)| v)
+                .collect()
+        };
+        let vbl = pick(vbl_mask, &[0, 2, 5, 8]);
+        let hbl = pick(hbl_mask, &[0, 2]);
+        let loa = pick(loa_mask, &[0, 6]);
+        let space = GenSpace::with_grids(&[0], &vbl, &hbl, &[(0, 0), (3, 7)], &loa, false);
+        let cache = gen_cache_in_memory(space.len() + 1);
+        let cold = GenerativeCatalog::build(&space, &Engine::serial(), &cache);
+        prop_assert!(cold.stats().tables_built > 0);
+        let engine = Engine::new(clapped_exec::ExecConfig::with_jobs(jobs));
+        let warm = GenerativeCatalog::build(&space, &engine, &cache);
+        prop_assert_eq!(warm.stats().tables_built, 0, "warm build must replay the cache");
+        prop_assert_eq!(warm.len(), cold.len());
+        for (a, b) in cold.iter().zip(warm.iter()) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.behaviour_digest, b.behaviour_digest);
+            prop_assert_eq!(&a.features, &b.features);
+        }
+    }
+}

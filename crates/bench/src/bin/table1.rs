@@ -24,7 +24,8 @@ fn main() {
     let mini = Catalog::from_specs(vec![
         ("mul8s_exact".to_string(), MulArch::Exact),
         ("mul8s_tr4".to_string(), MulArch::Truncated { k: 4 }),
-    ]);
+    ])
+    .expect("unique names");
     let lib = OpLibrary::characterize(&mini, &CharacterizeConfig::default().synth)
         .expect("library synthesis");
     let spec = AcceleratorSpec::uniform_2d(32, 3, &mini.get("mul8s_tr4").expect("present"));

@@ -783,7 +783,8 @@ mod tests {
         let bad = Catalog::from_specs(vec![(
             "approx_first".to_string(),
             clapped_axops::MulArch::Truncated { k: 5 },
-        )]);
+        )])
+        .expect("unique names");
         let err = Clapped::builder().catalog(bad).build();
         assert!(matches!(err, Err(ClappedError::Unavailable { .. })));
     }

@@ -26,12 +26,14 @@
 
 mod explore;
 mod framework;
+mod prefilter;
 mod repr;
 mod resilience;
 mod session;
 
 pub use explore::{explore, DofSummary, EstimationMode, ExploreOptions, ExploreResult, ParetoPoint};
 pub use framework::{AppKind, Clapped, ClappedBuilder, ClappedConfig, ErrorDataset};
+pub use prefilter::{prefilter, PrefilterConfig, PrefilterReport};
 pub use repr::MulRepr;
 pub use session::{Session, SessionProgress, SessionSpec};
 pub use resilience::{FaultCampaignConfig, FaultCampaignReport, FaultImpact};

@@ -12,7 +12,7 @@
 //! | `entropy-rng` | `thread_rng`, `from_entropy`, `OsRng`, … | everywhere, tests included |
 //! | `partial-cmp-sort` | `partial_cmp` inside a sort/ordering call | everywhere |
 //! | `no-unwrap` | `.unwrap()` | library code |
-//! | `no-expect` | `.expect(` | panic-free layers (exec, obs, runtime, serve, accel, checkpoint) |
+//! | `no-expect` | `.expect(` | panic-free layers (exec, obs, runtime, serve, accel, checkpoint, gen catalog, prefilter) |
 //! | `no-print` | `println!` & friends | library code except `bench` |
 //! | `todo-markers` | `todo!`, `unimplemented!` | everywhere |
 //! | `cfg-test-mod` | `mod tests` without `#[cfg(test)]` | library code |
@@ -172,7 +172,9 @@ fn rules() -> Vec<Rule> {
                     || p.starts_with("crates/runtime/src/")
                     || p.starts_with("crates/serve/src/")
                     || p.starts_with("crates/accel/src/")
-                    || p == "crates/dse/src/checkpoint.rs")
+                    || p == "crates/dse/src/checkpoint.rs"
+                    || p == "crates/axops/src/gen.rs"
+                    || p == "crates/core/src/prefilter.rs")
                     && is_src_lib(p)
             },
             skip_tests: true,
@@ -466,8 +468,13 @@ mod tests {
         // The compiled stream pipeline propagates simulation errors; a
         // panic mid-frame would kill a whole DSE sweep.
         assert_eq!(rules_of(&run("crates/accel/src/streamsim.rs", bad)), ["no-expect"]);
+        // Catalog generation and pre-filtering run inside sharded exec
+        // closures; a panic there aborts a whole cold build.
+        assert_eq!(rules_of(&run("crates/axops/src/gen.rs", bad)), ["no-expect"]);
+        assert_eq!(rules_of(&run("crates/core/src/prefilter.rs", bad)), ["no-expect"]);
         assert!(run("crates/serve/src/bin/clapped_serve.rs", bad).is_empty());
         assert!(run("crates/netlist/src/x.rs", bad).is_empty());
+        assert!(run("crates/axops/src/arch.rs", bad).is_empty());
     }
 
     #[test]
