@@ -29,16 +29,18 @@ use crate::{AxMul, ComposedSpec, MulArch};
 use clapped_exec::{
     CacheCodec, Engine, Fnv64, ResultCache, StructDigest, CODE_VERSION_SALT,
 };
-use clapped_netlist::{lint_netlist, synthesize, SynthConfig};
+use clapped_netlist::{
+    analyze_error_bounds, lint_netlist, synthesize, ErrBoundConfig, SynthConfig,
+};
 use serde_json::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cache-role salt partitioning generative-catalog records from every
 /// other consumer of a shared cache directory.
-const GEN_ROLE_SALT: u64 = 0x4745_4e43_4154_0901; // "GENCAT" v01
+const GEN_ROLE_SALT: u64 = 0x4745_4e43_4154_0902; // "GENCAT" v02
 
 /// Number of scalar features in a [`GenFeatures`] vector.
-pub const GEN_FEATURE_DIM: usize = 13;
+pub const GEN_FEATURE_DIM: usize = 15;
 
 /// One named architecture specification of the generative space.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -230,6 +232,15 @@ pub struct GenFeatures {
     pub power_mw: f64,
     /// Power-delay product proxy in picojoules (`power_mw × delay_ns`).
     pub pdp_pj: f64,
+    /// Statically *proved* worst-case error bound from the interval
+    /// error-bound analyzer (`clapped-netlist`'s `errbound`) — an upper
+    /// bound on `max_abs_error` that costs microseconds, not an
+    /// exhaustive table.
+    pub proved_wce: f64,
+    /// Statically proved error-rate bound: `0` when the analyzer proves
+    /// the operator exact, `1` otherwise (interval tier cannot count
+    /// mismatches).
+    pub proved_error_rate: f64,
 }
 
 impl GenFeatures {
@@ -250,6 +261,8 @@ impl GenFeatures {
             self.delay_ns,
             self.power_mw,
             self.pdp_pj,
+            self.proved_wce,
+            self.proved_error_rate,
         ]
     }
 
@@ -273,6 +286,8 @@ impl GenFeatures {
             delay_ns: v[10],
             power_mw: v[11],
             pdp_pj: v[12],
+            proved_wce: v[13],
+            proved_error_rate: v[14],
         })
     }
 }
@@ -390,6 +405,13 @@ impl GenerativeCatalog {
             formal_verify_limit: None,
             ..SynthConfig::default()
         };
+        // Interval-only static error bounds against one shared exact
+        // reference: the BDD exact tier is disabled (`bdd_node_limit: 0`)
+        // because it costs hundreds of milliseconds per 8×8 miter, while
+        // the interval pass costs microseconds and still proves
+        // exact-behaviour specs equal through congruence.
+        let exact_ref = MulArch::Exact.build_netlist();
+        let errbound_cfg = ErrBoundConfig { bdd_node_limit: 0, signed_outputs: true };
         let records: Vec<Option<GenRecord>> =
             engine.evaluate_many(space.specs(), |_, spec| {
                 let key = spec_digest(&spec.arch);
@@ -412,6 +434,14 @@ impl GenerativeCatalog {
                     clapped_obs::count("axops.gen.synth_reject", 1);
                     return None;
                 };
+                let bounds = analyze_error_bounds(&netlist, &exact_ref, &errbound_cfg);
+                let (proved_wce, proved_error_rate) = match &bounds {
+                    Ok(b) => (b.best_wce() as f64, b.proved_error_rate()),
+                    // Interface mismatch against the reference cannot
+                    // happen for generated 8×8 specs; fall back to the
+                    // trivial sound bounds rather than reject the spec.
+                    Err(_) => (f64::from(u16::MAX), 1.0),
+                };
                 let stats = &report.stats;
                 let power_mw = synth.power.total_mw();
                 let features = GenFeatures {
@@ -428,6 +458,8 @@ impl GenerativeCatalog {
                     delay_ns: synth.cpd_ns,
                     power_mw,
                     pdp_pj: power_mw * synth.cpd_ns,
+                    proved_wce,
+                    proved_error_rate,
                 };
                 let rec = GenRecord { behaviour_digest, features };
                 cache.insert(key, rec.clone());
@@ -585,6 +617,20 @@ mod tests {
         let exact = cat.entries()[0].materialize();
         assert_eq!(exact.mul(-7, 9), -63);
         assert_eq!(cat.entries()[0].features.mae, 0.0);
+        // The interval analyzer proves the exact entry equal to the
+        // reference, and every entry's proved WCE dominates the observed
+        // table maximum (soundness, for free in every build).
+        assert_eq!(cat.entries()[0].features.proved_wce, 0.0);
+        assert_eq!(cat.entries()[0].features.proved_error_rate, 0.0);
+        for e in cat.iter() {
+            assert!(
+                e.features.proved_wce >= e.features.max_abs_error,
+                "{}: proved {} < observed {}",
+                e.name,
+                e.features.proved_wce,
+                e.features.max_abs_error
+            );
+        }
         // Names are unique.
         let mut names: Vec<&str> = cat.iter().map(|e| e.name.as_str()).collect();
         let before = names.len();
@@ -633,8 +679,9 @@ mod tests {
             behaviour_digest: 0x1234_5678_9abc_def0,
             features: GenFeatures::from_vec(&[
                 1.5, 2.5, 0.25, 800.0, -0.5, 300.0, 20.0, 9.0, 1.8, 80.0, 5.5, 12.0, 66.0,
+                1024.0, 1.0,
             ])
-            .expect("13 finite values"),
+            .expect("15 finite values"),
         };
         let json = rec.to_cache_json().expect("encodable");
         let back = GenRecord::from_cache_json(&json).expect("decodable");

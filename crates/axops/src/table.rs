@@ -98,8 +98,9 @@ pub fn build_mul_table(netlist: &Netlist) -> Vec<i16> {
                     let lo = transpose8x8(lo);
                     let hi = transpose8x8(hi);
                     for lane in 0..8 {
-                        let p = ((lo >> (8 * lane)) & 0xff) as u16
+                        let p = ((lo >> (8 * lane)) & 0xff) as u16 // lint-allow(no-silent-truncation): both casts masked to 0xff
                             | ((((hi >> (8 * lane)) & 0xff) as u16) << 8);
+                        // lint-allow(no-silent-truncation): bit-for-bit reinterpretation of the 16 product bits
                         row[qw * 64 + octet * 8 + lane] = p as i16;
                     }
                 }
@@ -137,7 +138,9 @@ pub fn build_mul_table_ref64(netlist: &Netlist) -> Vec<i16> {
             .expect("operator netlist interface verified above");
         let products = unpack_bus_samples(&outs, batch.len(), true);
         for (&(a, b), &p) in batch.iter().zip(&products) {
+            // lint-allow(no-silent-truncation): i8→u8 is a lossless bit reinterpretation for indexing
             let idx = ((a as u8 as usize) << 8) | (b as u8 as usize);
+            // lint-allow(no-silent-truncation): an 8×8 signed product always fits i16
             table[idx] = p as i16;
         }
         batch.clear();

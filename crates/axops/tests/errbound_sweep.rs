@@ -1,0 +1,75 @@
+//! Catalog-wide error-bound soundness sweeps: every generated operator's
+//! statically proved worst-case error must dominate the maximum error
+//! observed in its exhaustive behavioural table. The quick-space sweep
+//! runs on every `cargo test`; the full standard space (1000+ distinct
+//! operators) is minutes-scale and gated behind `--ignored`.
+
+use clapped_axops::{
+    build_mul_table, gen_cache_in_memory, GenSpace, GenerativeCatalog, MulArch,
+};
+use clapped_exec::{Engine, ExecConfig};
+use clapped_netlist::{analyze_error_bounds, ErrBoundConfig};
+
+/// Max |table entry − a·b| and the number of erring input pairs.
+fn observed_table_error(table: &[i16]) -> (u64, u64) {
+    let mut max_abs = 0u64;
+    let mut mismatches = 0u64;
+    for (idx, &got) in table.iter().enumerate() {
+        let a = (idx >> 8) as u8 as i8;
+        let b = (idx & 0xff) as u8 as i8;
+        let err = i64::from(i32::from(got) - i32::from(a) * i32::from(b)).unsigned_abs();
+        if err > 0 {
+            mismatches += 1;
+            max_abs = max_abs.max(err);
+        }
+    }
+    (max_abs, mismatches)
+}
+
+fn sweep(space: &GenSpace, jobs: usize) {
+    let engine = Engine::new(ExecConfig::with_jobs(jobs));
+    let cache = gen_cache_in_memory(space.len() + 1);
+    let cat = GenerativeCatalog::build(space, &engine, &cache);
+    assert!(!cat.is_empty());
+    let reference = MulArch::Exact.build_netlist();
+    let cfg = ErrBoundConfig { bdd_node_limit: 0, signed_outputs: true };
+    let mut proved_equal = 0usize;
+    for entry in cat.iter() {
+        // Recompute both sides independently of the features the build
+        // embedded — the sweep cross-checks the analyzer itself, not the
+        // catalog plumbing.
+        let netlist = entry.arch.build_netlist();
+        let table = build_mul_table(&netlist);
+        let (observed_max, mismatches) = observed_table_error(&table);
+        let bounds = analyze_error_bounds(&netlist, &reference, &cfg)
+            .unwrap_or_else(|e| panic!("{}: analysis failed: {e}", entry.name));
+        assert!(
+            bounds.proved_wce >= observed_max,
+            "{}: proved WCE {} < observed {} — unsound bound",
+            entry.name,
+            bounds.proved_wce,
+            observed_max
+        );
+        if bounds.proved_equal() {
+            assert_eq!(mismatches, 0, "{}: proved equal but the table errs", entry.name);
+            proved_equal += 1;
+        }
+        // The features recorded at build time agree with a fresh run.
+        assert_eq!(entry.features.proved_wce, bounds.best_wce() as f64, "{}", entry.name);
+        assert_eq!(entry.features.proved_error_rate, bounds.proved_error_rate(), "{}", entry.name);
+    }
+    // The interval pass must prove at least the exact-behaviour entry
+    // equal through congruence alone.
+    assert!(proved_equal >= 1, "no entry proved equal");
+}
+
+#[test]
+fn quick_space_bounds_are_sound() {
+    sweep(&GenSpace::quick(), 4);
+}
+
+#[test]
+#[ignore = "minutes-scale: sweeps every distinct operator of the full standard space"]
+fn standard_space_bounds_are_sound() {
+    sweep(&GenSpace::standard(), 0);
+}

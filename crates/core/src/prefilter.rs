@@ -23,6 +23,15 @@
 //! The pre-filter is deterministic: training-subset selection, model
 //! seeds, and pruning are all pure functions of the catalog and the
 //! [`PrefilterConfig`].
+//!
+//! Since the catalog grew statically *proved* error bounds
+//! (`clapped-netlist`'s `errbound` interval analyzer), the feature
+//! vector also carries `proved_wce` and `proved_error_rate` — sound
+//! upper bounds computed without simulation. They reach both surrogates
+//! for free through [`GenFeatures::to_vec`](clapped_axops::GenFeatures)
+//! and give the quality model a second, independent error signal that
+//! separates the proved-exact cluster (bound `0`) from near-exact
+//! operators whose table MAE alone rounds to the same decade.
 
 use crate::{Clapped, ClappedError, Result};
 use clapped_axops::{Catalog, GenerativeCatalog};

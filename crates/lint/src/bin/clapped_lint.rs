@@ -4,13 +4,16 @@
 //! clapped_lint [--root PATH] [--json] [--deny]
 //! ```
 //!
-//! Runs both analysis targets — the source/layering lints over the
-//! workspace tree and the structural lints over every catalog operator
-//! netlist (raw and optimized) — then prints a human-readable report,
-//! or one JSON document with `--json`. With `--deny`, any source
-//! finding or structural error makes the process exit 1; this is the
-//! required CI step.
+//! Runs all three analysis targets — the source/layering lints over the
+//! workspace tree, the structural lints over every catalog operator
+//! netlist (raw and optimized), and the error-bound soundness gate
+//! (proved bounds cross-checked against every operator's exhaustive
+//! table) — then prints a human-readable report, or one JSON document
+//! with `--json`. With `--deny`, any source finding, structural error
+//! or bound violation makes the process exit 1; this is the required CI
+//! step.
 
+use clapped_lint::errbounds::{errbound_catalog, gate_config, ErrBoundReport};
 use clapped_lint::netlists::{lint_catalog, OpReport};
 use clapped_lint::{lint_workspace, Finding, StructSeverity};
 use std::path::PathBuf;
@@ -100,6 +103,19 @@ fn op_json(r: &OpReport) -> serde_json::Value {
     })
 }
 
+fn errbound_json(r: &ErrBoundReport) -> serde_json::Value {
+    serde_json::json!({
+        "name": r.name,
+        "clean": r.is_clean(),
+        "exact_mode": r.exact_mode,
+        "proved_wce": r.bounds.as_ref().map(|b| b.best_wce()),
+        "error_cone_bits": r.bounds.as_ref().map(|b| b.cone_bits()),
+        "observed_max_abs": r.observed_max_abs,
+        "observed_mismatches": r.observed_mismatches,
+        "violations": r.violations,
+    })
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -120,6 +136,8 @@ fn main() -> ExitCode {
     let dirty_ops: Vec<&OpReport> = ops.iter().filter(|r| !r.is_clean()).collect();
     let struct_warnings: usize =
         ops.iter().map(|r| r.raw.warnings().count() + r.optimized.warnings().count()).sum();
+    let bounds = errbound_catalog(&gate_config());
+    let unsound: Vec<&ErrBoundReport> = bounds.iter().filter(|r| !r.is_clean()).collect();
 
     if args.json {
         let doc = serde_json::json!({
@@ -132,8 +150,13 @@ fn main() -> ExitCode {
                 "dirty": dirty_ops.len(),
                 "warnings": struct_warnings,
             },
+            "errbounds": {
+                "operators": bounds.iter().map(errbound_json).collect::<Vec<_>>(),
+                "unsound": unsound.len(),
+                "exact_mode": bounds.iter().filter(|r| r.exact_mode).count(),
+            },
             "deny": args.deny,
-            "ok": findings.is_empty() && dirty_ops.is_empty(),
+            "ok": findings.is_empty() && dirty_ops.is_empty() && unsound.is_empty(),
         });
         println!("{}", serde_json::to_string_pretty(&doc).unwrap_or_default());
     } else {
@@ -172,9 +195,29 @@ fn main() -> ExitCode {
             dirty_ops.len(),
             struct_warnings
         );
+        println!();
+        println!("== clapped_lint: proved error bounds ==");
+        for r in &bounds {
+            let status = if r.is_clean() { "ok " } else { "FAIL" };
+            let tier = if r.exact_mode { "exact" } else { "interval" };
+            let proved = r.bounds.as_ref().map(|b| b.best_wce()).unwrap_or(0);
+            println!(
+                "{status} {:<16} {tier:<8} proved WCE {:>6} observed {:>6} mismatches {:>6}",
+                r.name, proved, r.observed_max_abs, r.observed_mismatches,
+            );
+            for v in &r.violations {
+                println!("     violation: {v}");
+            }
+        }
+        println!(
+            "{} operator(s), {} unsound, {} analyzed exactly",
+            bounds.len(),
+            unsound.len(),
+            bounds.iter().filter(|r| r.exact_mode).count()
+        );
     }
 
-    if args.deny && (!findings.is_empty() || !dirty_ops.is_empty()) {
+    if args.deny && (!findings.is_empty() || !dirty_ops.is_empty() || !unsound.is_empty()) {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

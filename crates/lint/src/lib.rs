@@ -15,11 +15,18 @@
 //!    checked for dangling fanins, combinational cycles, multiply-bound
 //!    ports, dead logic and const-tied outputs — raw *and* after
 //!    `opt::optimize`, where surviving dead gates escalate to errors.
+//! 3. **Error-bound soundness gate** ([`errbounds`]): every catalog
+//!    operator's statically *proved* error bounds
+//!    (`clapped_netlist::errbound`) are cross-checked against its
+//!    exhaustive behavioural table — a proved worst-case error below an
+//!    observed error, or an exact-tier count disagreeing with the
+//!    table, fails the gate.
 //!
 //! The crate is intentionally dependency-light: the source scanner is a
 //! few hundred lines of hand-rolled lexer (the rustc-`tidy` approach),
 //! not a parser library.
 
+pub mod errbounds;
 pub mod layering;
 pub mod netlists;
 pub mod rules;

@@ -12,10 +12,11 @@
 //! | `entropy-rng` | `thread_rng`, `from_entropy`, `OsRng`, … | everywhere, tests included |
 //! | `partial-cmp-sort` | `partial_cmp` inside a sort/ordering call | everywhere |
 //! | `no-unwrap` | `.unwrap()` | library code |
-//! | `no-expect` | `.expect(` | panic-free layers (exec, obs, runtime, serve, accel, checkpoint, gen catalog, prefilter) |
+//! | `no-expect` | `.expect(` | panic-free layers (exec, obs, runtime, serve, accel, checkpoint, gen catalog, prefilter, errbound analyzer + gate) |
 //! | `no-print` | `println!` & friends | library code except `bench` |
 //! | `todo-markers` | `todo!`, `unimplemented!` | everywhere |
 //! | `cfg-test-mod` | `mod tests` without `#[cfg(test)]` | library code |
+//! | `no-silent-truncation` | `as u8`/`as i16`-style casts to ≤32-bit ints | digest/table-adjacent code (netlist, exec, axops table) |
 //!
 //! Suppression: `// lint-allow(rule): reason` on the offending line or
 //! the line directly above silences exactly that line;
@@ -174,7 +175,9 @@ fn rules() -> Vec<Rule> {
                     || p.starts_with("crates/accel/src/")
                     || p == "crates/dse/src/checkpoint.rs"
                     || p == "crates/axops/src/gen.rs"
-                    || p == "crates/core/src/prefilter.rs")
+                    || p == "crates/core/src/prefilter.rs"
+                    || p == "crates/netlist/src/errbound.rs"
+                    || p == "crates/lint/src/errbounds.rs")
                     && is_src_lib(p)
             },
             skip_tests: true,
@@ -223,6 +226,32 @@ fn rules() -> Vec<Rule> {
             skip_tests: false,
             // Matching handled specially in `lint_file` (needs region info).
             check: |_| None,
+        },
+        Rule {
+            id: "no-silent-truncation",
+            applies: |p| {
+                (p.starts_with("crates/netlist/src/")
+                    || p.starts_with("crates/exec/src/")
+                    || p == "crates/axops/src/table.rs")
+                    && is_src_lib(p)
+            },
+            skip_tests: true,
+            check: |code| {
+                // Lexical approximation: any `as` cast to a ≤32-bit
+                // integer can drop bits when the source is wider.
+                // Provable widenings still need the annotation — the
+                // reason documents why the cast is lossless.
+                for t in ["as u8", "as i8", "as u16", "as i16", "as u32", "as i32"] {
+                    if has_word(code, t) {
+                        return Some(format!(
+                            "`{t}` in digest/table-adjacent code may silently truncate: \
+                             use `try_from`/`From`, or justify losslessness with a \
+                             lint-allow"
+                        ));
+                    }
+                }
+                None
+            },
         },
     ]
 }
@@ -472,6 +501,10 @@ mod tests {
         // closures; a panic there aborts a whole cold build.
         assert_eq!(rules_of(&run("crates/axops/src/gen.rs", bad)), ["no-expect"]);
         assert_eq!(rules_of(&run("crates/core/src/prefilter.rs", bad)), ["no-expect"]);
+        // The error-bound analyzer and its catalog gate feed CI verdicts;
+        // a panic there reads as a crash, not a soundness finding.
+        assert_eq!(rules_of(&run("crates/netlist/src/errbound.rs", bad)), ["no-expect"]);
+        assert_eq!(rules_of(&run("crates/lint/src/errbounds.rs", bad)), ["no-expect"]);
         assert!(run("crates/serve/src/bin/clapped_serve.rs", bad).is_empty());
         assert!(run("crates/netlist/src/x.rs", bad).is_empty());
         assert!(run("crates/axops/src/arch.rs", bad).is_empty());
@@ -549,7 +582,27 @@ mod tests {
     }
 
     #[test]
+    fn no_silent_truncation_fires_in_scope_only() {
+        let bad = "fn f(x: u64) -> u16 { x as u16 }\n";
+        assert_eq!(rules_of(&run("crates/netlist/src/x.rs", bad)), ["no-silent-truncation"]);
+        assert_eq!(rules_of(&run("crates/exec/src/cache.rs", bad)), ["no-silent-truncation"]);
+        assert_eq!(rules_of(&run("crates/axops/src/table.rs", bad)), ["no-silent-truncation"]);
+        // Out of scope: arch generators are not digest-adjacent.
+        assert!(run("crates/axops/src/arch.rs", bad).is_empty());
+        assert!(run("crates/dse/src/x.rs", bad).is_empty());
+        // Widening targets and usize are not flagged.
+        assert!(run("crates/netlist/src/x.rs", "fn f(x: u8) -> u64 { x as u64 }\n").is_empty());
+        assert!(run("crates/netlist/src/x.rs", "fn f(x: u8) -> usize { x as usize }\n").is_empty());
+        // Tests inside scoped files are exempt.
+        let test_only = "#[cfg(test)]\nmod tests {\n fn t(x: u64) -> u8 { x as u8 }\n}\n";
+        assert!(run("crates/netlist/src/x.rs", test_only).is_empty());
+        // The allow escape hatch documents losslessness.
+        let allowed = "fn f(x: u64) -> u16 { x as u16 } // lint-allow(no-silent-truncation): x < 2^16 by construction\n";
+        assert!(run("crates/netlist/src/x.rs", allowed).is_empty());
+    }
+
+    #[test]
     fn catalog_size_meets_floor() {
-        assert!(rule_count() >= 8, "{} source rules", rule_count());
+        assert!(rule_count() >= 9, "{} source rules", rule_count());
     }
 }

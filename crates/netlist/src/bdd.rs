@@ -11,6 +11,10 @@
 // are keyed lookups, never iterated; node ids are allocated in insertion
 // order driven by the deterministic netlist walk.
 
+// lint-allow-file(no-silent-truncation): node ids and variable indices
+// are usize→u32 casts bounded far below 2^32 — node counts by the node
+// budget, variable counts by the netlist input width.
+
 use crate::ir::{Gate, Netlist};
 use crate::NetlistError;
 use std::collections::HashMap;
@@ -75,6 +79,37 @@ impl BddManager {
         self.nodes.len()
     }
 
+    /// Occupancy snapshot: node-store and apply-cache sizes against the
+    /// budget. Lets callers that sweep many netlists through one manager
+    /// (the error-bound analyzer) decide when a [`BddManager::reset`]
+    /// pays off.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            nodes: self.nodes.len(),
+            node_limit: self.node_limit,
+            var_count: self.var_count as usize,
+            and_cache_entries: self.and_cache.len(),
+            xor_cache_entries: self.xor_cache.len(),
+            not_cache_entries: self.not_cache.len(),
+        }
+    }
+
+    /// Clears every node and apply cache while **preserving allocated
+    /// capacity**, and re-declares the variable count. After a reset the
+    /// manager behaves like a fresh [`BddManager::new`] but reuses its
+    /// buffers, so a pass analyzing hundreds of operators does not churn
+    /// the allocator.
+    pub fn reset(&mut self, var_count: usize) {
+        self.nodes.clear();
+        self.nodes.push(Node { var: u32::MAX, lo: 0, hi: 0 });
+        self.nodes.push(Node { var: u32::MAX, lo: 1, hi: 1 });
+        self.unique.clear();
+        self.and_cache.clear();
+        self.xor_cache.clear();
+        self.not_cache.clear();
+        self.var_count = var_count as u32;
+    }
+
     /// The constant-false BDD.
     pub fn zero(&self) -> u32 {
         FALSE
@@ -94,6 +129,7 @@ impl BddManager {
             return Ok(id);
         }
         if self.nodes.len() >= self.node_limit {
+            clapped_obs::count("bdd.budget_exhausted", 1);
             return Err(NetlistError::BddLimit {
                 limit: self.node_limit,
             });
@@ -359,6 +395,64 @@ impl BddManager {
         }
         Some(assignment)
     }
+
+    /// Level of a node for model counting: its variable index, or
+    /// `var_count` for terminals (one past the last variable).
+    fn level(&self, f: u32) -> u32 {
+        if f <= 1 {
+            self.var_count
+        } else {
+            self.nodes[f as usize].var
+        }
+    }
+
+    /// Number of satisfying assignments of `f` over **all**
+    /// `var_count` variables (variables the function does not depend on
+    /// count as free). Exact in `u128`; panics only if `var_count`
+    /// exceeds 127, far beyond any netlist this crate builds.
+    pub fn sat_count(&self, f: u32) -> u128 {
+        let mut memo: HashMap<u32, u128> = HashMap::new();
+        let suffix = self.count_suffix(f, &mut memo);
+        suffix << self.level(f).min(self.var_count)
+    }
+
+    /// Satisfying assignments of `f` over the variable suffix
+    /// `[level(f), var_count)`.
+    fn count_suffix(&self, f: u32, memo: &mut HashMap<u32, u128>) -> u128 {
+        if f == FALSE {
+            return 0;
+        }
+        if f == TRUE {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let n = self.nodes[f as usize];
+        let lo = self.count_suffix(n.lo, memo);
+        let hi = self.count_suffix(n.hi, memo);
+        // Variables skipped between this node and each child are free.
+        let c = (lo << (self.level(n.lo) - n.var - 1)) + (hi << (self.level(n.hi) - n.var - 1));
+        memo.insert(f, c);
+        c
+    }
+}
+
+/// Occupancy snapshot of a [`BddManager`], from [`BddManager::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BddStats {
+    /// Live nodes, terminals included.
+    pub nodes: usize,
+    /// Node budget the manager was created with.
+    pub node_limit: usize,
+    /// Declared variable count.
+    pub var_count: usize,
+    /// Entries in the AND apply cache.
+    pub and_cache_entries: usize,
+    /// Entries in the XOR apply cache.
+    pub xor_cache_entries: usize,
+    /// Entries in the NOT cache.
+    pub not_cache_entries: usize,
 }
 
 /// Outcome of a formal equivalence check.
@@ -517,6 +611,55 @@ mod tests {
         n.output_bus("p", &p);
         let err = check_equivalence(&n, &n, 50);
         assert!(matches!(err, Err(NetlistError::BddLimit { .. })));
+    }
+
+    #[test]
+    fn sat_count_matches_truth_table() {
+        let mut mgr = BddManager::new(3, 1000);
+        let x = mgr.var(0).unwrap();
+        let y = mgr.var(1).unwrap();
+        let z = mgr.var(2).unwrap();
+        let xy = mgr.and(x, y).unwrap();
+        let f = mgr.or(xy, z).unwrap();
+        // x&y | z over 3 vars: 8 rows, satisfied by z=1 (4) plus x=y=1,z=0 (1).
+        assert_eq!(mgr.sat_count(f), 5);
+        assert_eq!(mgr.sat_count(mgr.zero()), 0);
+        assert_eq!(mgr.sat_count(mgr.one()), 8);
+        // A single variable is satisfied by half the space.
+        assert_eq!(mgr.sat_count(x), 4);
+    }
+
+    #[test]
+    fn sat_count_handles_skipped_levels() {
+        // f depends only on var 2 of 5: half the 32 rows satisfy it.
+        let mut mgr = BddManager::new(5, 1000);
+        let v = mgr.var(2).unwrap();
+        assert_eq!(mgr.sat_count(v), 16);
+        let nv = mgr.not(v).unwrap();
+        assert_eq!(mgr.sat_count(nv), 16);
+    }
+
+    #[test]
+    fn reset_preserves_capacity_and_reuses_manager() {
+        let mut mgr = BddManager::new(2, 10_000);
+        let x = mgr.var(0).unwrap();
+        let y = mgr.var(1).unwrap();
+        let _ = mgr.and(x, y).unwrap();
+        let before = mgr.stats();
+        assert!(before.nodes > 2);
+        assert!(before.and_cache_entries > 0);
+        mgr.reset(3);
+        let after = mgr.stats();
+        assert_eq!(after.nodes, 2);
+        assert_eq!(after.var_count, 3);
+        assert_eq!(after.and_cache_entries, 0);
+        // The reset manager produces canonical results again.
+        let a = mgr.var(0).unwrap();
+        let b = mgr.var(2).unwrap();
+        let ab = mgr.and(a, b).unwrap();
+        let ba = mgr.and(b, a).unwrap();
+        assert_eq!(ab, ba);
+        assert_eq!(mgr.sat_count(ab), 2);
     }
 
     #[test]

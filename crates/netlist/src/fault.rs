@@ -172,6 +172,15 @@ pub struct CampaignOptions {
     /// weighted error — is emitted directly. Rankings are bit-identical
     /// to the full campaign; only the work shrinks.
     pub skip_dead: bool,
+    /// Skip simulating fault sites the error-cone analysis proves
+    /// unobservable ([`crate::errbound::StuckAtObservability`]): the
+    /// stuck value equals the net's proved constant (a no-op fault), or
+    /// the per-site forward D-propagation shows the corruption blocked
+    /// from every primary output by proved-constant siblings. Strictly
+    /// subsumes `skip_dead` (a dead site's corruption reaches no
+    /// output), and like it provably preserves every per-site report
+    /// bit-for-bit — only [`CampaignReport::simulated_sites`] drops.
+    pub skip_masked: bool,
 }
 
 impl CampaignReport {
@@ -457,10 +466,30 @@ impl Netlist {
         let samples = input_batches.len() * lanes_per_batch;
 
         let live = if options.skip_dead { Some(crate::lint::live_cone(self)) } else { None };
-        let sim_sites: Vec<Fault> = match &live {
-            Some(live) => sites.iter().copied().filter(|f| live[f.signal.index()]).collect(),
-            None => sites.to_vec(),
+        let obs = if options.skip_masked {
+            Some(crate::errbound::StuckAtObservability::new(self))
+        } else {
+            None
         };
+        let keep: Vec<bool> = sites
+            .iter()
+            .map(|f| {
+                if let Some(live) = &live {
+                    if !live[f.signal.index()] {
+                        return false;
+                    }
+                }
+                if let Some(obs) = &obs {
+                    let stuck_value = matches!(f.kind, FaultKind::StuckAt1);
+                    if !obs.is_observable(f.signal, stuck_value) {
+                        return false;
+                    }
+                }
+                true
+            })
+            .collect();
+        let sim_sites: Vec<Fault> =
+            sites.iter().copied().zip(&keep).filter(|&(_, &k)| k).map(|(f, _)| f).collect();
         let simulated_sites = sim_sites.len();
 
         // Shard the sweep over (site, batch-chunk) jobs so both many
@@ -512,25 +541,25 @@ impl Netlist {
         }
 
         // Re-interleave simulated and skipped sites in injection order.
-        let sites_out = match &live {
-            None => site_reports,
-            Some(live) => {
-                let mut simulated = site_reports.into_iter();
-                sites
-                    .iter()
-                    .map(|&fault| {
-                        if live[fault.signal.index()] {
-                            simulated.next().unwrap_or(FaultSiteReport {
-                                fault,
-                                mismatch_rate: 0.0,
-                                weighted_error: 0.0,
-                            })
-                        } else {
-                            FaultSiteReport { fault, mismatch_rate: 0.0, weighted_error: 0.0 }
-                        }
-                    })
-                    .collect()
-            }
+        let sites_out = if keep.iter().all(|&k| k) {
+            site_reports
+        } else {
+            let mut simulated = site_reports.into_iter();
+            sites
+                .iter()
+                .zip(&keep)
+                .map(|(&fault, &kept)| {
+                    if kept {
+                        simulated.next().unwrap_or(FaultSiteReport {
+                            fault,
+                            mismatch_rate: 0.0,
+                            weighted_error: 0.0,
+                        })
+                    } else {
+                        FaultSiteReport { fault, mismatch_rate: 0.0, weighted_error: 0.0 }
+                    }
+                })
+                .collect()
         };
         Ok(CampaignReport { sites: sites_out, samples, simulated_sites })
     }
@@ -875,7 +904,7 @@ mod tests {
                 &[batch.clone()],
                 16,
                 &engine,
-                CampaignOptions { skip_dead: false },
+                CampaignOptions { skip_dead: false, ..CampaignOptions::default() },
             )
             .unwrap();
         let skipped = n
@@ -884,7 +913,7 @@ mod tests {
                 &[batch.clone()],
                 16,
                 &engine,
-                CampaignOptions { skip_dead: true },
+                CampaignOptions { skip_dead: true, ..CampaignOptions::default() },
             )
             .unwrap();
         assert_eq!(full.sites, skipped.sites, "per-site reports must be bit-identical");
@@ -900,10 +929,74 @@ mod tests {
                 &[batch],
                 16,
                 &engine8,
-                CampaignOptions { skip_dead: true },
+                CampaignOptions { skip_dead: true, ..CampaignOptions::default() },
             )
             .unwrap();
         assert_eq!(skipped, par);
+    }
+
+    #[test]
+    fn skip_masked_matches_full_campaign_with_fewer_sweeps() {
+        // A circuit with statically provable masking beyond dead-cone
+        // analysis: `x` only reaches the output through an AND whose
+        // sibling is a proved constant 0, and `gated`'s stuck-at-0 is a
+        // no-op on a net proved always-0. All sites are *live* (inside
+        // the output cone), so skip_dead removes nothing, while the
+        // D-propagation masking must prune measurably — with every
+        // report and ranking bit-identical to the unmasked reference.
+        let mut n = Netlist::new("masked");
+        let x = n.input("x");
+        let y = n.input("y");
+        let zero = n.constant(false);
+        let gated = n.and(x, zero); // proved const 0
+        let out = n.or(gated, y);
+        n.output("o", out);
+        let sites = n.fault_sites();
+        let batch = vec![0b1100u64, 0b1010u64];
+        let engine = clapped_exec::Engine::serial();
+        let full = n
+            .stuck_at_campaign_with_options(
+                &sites,
+                &[batch.clone()],
+                4,
+                &engine,
+                CampaignOptions::default(),
+            )
+            .unwrap();
+        let masked = n
+            .stuck_at_campaign_with_options(
+                &sites,
+                &[batch.clone()],
+                4,
+                &engine,
+                CampaignOptions { skip_dead: false, skip_masked: true },
+            )
+            .unwrap();
+        assert_eq!(full.sites, masked.sites, "reports must be bit-identical");
+        assert_eq!(full.ranked_sites(), masked.ranked_sites());
+        assert_eq!(full.simulated_sites, sites.len());
+        // Provably skipped: x stuck-at-0/1 (blocked by the const-0
+        // sibling), zero stuck-at-0 and gated stuck-at-0 (no-op
+        // polarity on proved-0 nets).
+        assert!(
+            masked.simulated_sites <= sites.len() - 4,
+            "expected a measurable drop, got {}/{}",
+            masked.simulated_sites,
+            sites.len()
+        );
+        // Masking composes with skip_dead and parallel execution.
+        let engine8 = clapped_exec::Engine::new(clapped_exec::ExecConfig::with_jobs(8));
+        let both = n
+            .stuck_at_campaign_with_options(
+                &sites,
+                &[batch],
+                4,
+                &engine8,
+                CampaignOptions { skip_dead: true, skip_masked: true },
+            )
+            .unwrap();
+        assert_eq!(full.sites, both.sites);
+        assert_eq!(both.simulated_sites, masked.simulated_sites);
     }
 
     #[test]
@@ -917,7 +1010,7 @@ mod tests {
                 &[vec![0b1010, 0b0110]],
                 4,
                 &clapped_exec::Engine::serial(),
-                CampaignOptions { skip_dead: true },
+                CampaignOptions { skip_dead: true, ..CampaignOptions::default() },
             )
             .unwrap_err();
         assert!(matches!(err, NetlistError::InvalidFaultSite { index: 99, .. }));

@@ -21,6 +21,7 @@ impl SignalId {
     /// against the target netlist and report out-of-range indices as
     /// [`crate::NetlistError::InvalidFaultSite`].
     pub fn from_index(index: usize) -> SignalId {
+        // lint-allow(no-silent-truncation): netlists stay far below 2^32 signals; consumers validate the index
         SignalId(index as u32)
     }
 }

@@ -38,6 +38,7 @@
 pub mod bdd;
 pub mod bus;
 mod digest;
+pub mod errbound;
 mod fault;
 mod ir;
 pub mod lint;
@@ -50,6 +51,10 @@ mod synth;
 mod timing;
 pub mod verilog;
 
+pub use errbound::{
+    abstract_values, analyze as analyze_error_bounds, AbsVal, ErrBoundConfig, ErrorBounds,
+    ExactError, StuckAtObservability,
+};
 pub use fault::{
     CampaignOptions, CampaignReport, Fault, FaultKind, FaultSet, FaultSiteReport,
     CAMPAIGN_BLOCK_WORDS,
@@ -97,6 +102,14 @@ pub enum NetlistError {
         /// Number of signals in the netlist.
         signals: usize,
     },
+    /// Two netlists compared by the error-bound analyzer declare
+    /// different output counts.
+    OutputCountMismatch {
+        /// Number of outputs in the reference netlist.
+        expected: usize,
+        /// Number of outputs in the netlist under analysis.
+        found: usize,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -116,6 +129,9 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::InvalidFaultSite { index, signals } => {
                 write!(f, "fault site {index} outside netlist with {signals} signals")
+            }
+            NetlistError::OutputCountMismatch { expected, found } => {
+                write!(f, "expected {expected} outputs, found {found}")
             }
         }
     }

@@ -213,12 +213,14 @@ pub fn lint_netlist(netlist: &Netlist) -> StructReport {
         // indegree[g] = number of in-range fanins of g.
         let mut indegree = vec![0u32; n];
         for (i, gate) in netlist.gates().iter().enumerate() {
+            // lint-allow(no-silent-truncation): a gate has at most 3 fanins
             indegree[i] = gate.fanins().filter(|f| f.index() < n).count() as u32;
         }
         let mut readers: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (i, gate) in netlist.gates().iter().enumerate() {
             for f in gate.fanins() {
                 if f.index() < n {
+                    // lint-allow(no-silent-truncation): gate index round-trips SignalId(u32)
                     readers[f.index()].push(i as u32);
                 }
             }
@@ -379,6 +381,7 @@ pub fn lint_netlist(netlist: &Netlist) -> StructReport {
         }
     }
 
+    // lint-allow(no-silent-truncation): signal counts are bounded far below 2^32
     let readers: u32 = fanout.iter().filter(|&&c| c > 0).count() as u32;
     let stats = NetlistStats {
         gates: n,

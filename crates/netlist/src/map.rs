@@ -6,6 +6,10 @@
 //! outputs. Each selected cut becomes one K-input LUT whose truth table is
 //! extracted by simulating the cut's cone.
 
+// lint-allow-file(no-silent-truncation): cut leaves store gate indices
+// as u32; every cast round-trips a `SignalId(u32)` index through usize,
+// so the value always fits.
+
 use crate::ir::{Gate, Netlist, SignalId};
 use crate::NetlistError;
 use std::collections::{BTreeMap, HashMap, HashSet};

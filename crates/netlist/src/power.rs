@@ -113,6 +113,7 @@ pub fn estimate_power(mapped: &MappedNetlist, model: &PowerModel) -> crate::Resu
         for &sig in &nets {
             let v = vals[&sig];
             let x = v ^ (v >> 1);
+            // lint-allow(no-silent-truncation): masked to a single bit
             let flips = f64::from(x.count_ones() - ((v >> 63) & 1) as u32);
             transitions += 63.0;
             toggle_events += flips;

@@ -139,7 +139,7 @@ proptest! {
                     &batches,
                     lanes_per_batch,
                     &engine,
-                    CampaignOptions { skip_dead },
+                    CampaignOptions { skip_dead, ..CampaignOptions::default() },
                 )
                 .expect("wide campaign runs");
             prop_assert_eq!(&reference.sites, &wide.sites, "jobs={} skip_dead={}", jobs, skip_dead);
